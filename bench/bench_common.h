@@ -1,0 +1,18 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+
+#include "util/sysinfo.h"
+
+namespace mfc::bench {
+
+inline void print_header(const char* what, const char* paper_ref) {
+  const auto info = query_sysinfo();
+  std::printf("# %s\n", what);
+  std::printf("# reproduces: %s\n", paper_ref);
+  std::printf("# platform: %s, %s, %d cpus\n\n", info.os.c_str(),
+              info.arch.c_str(), info.ncpus);
+}
+
+}  // namespace mfc::bench

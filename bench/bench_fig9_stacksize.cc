@@ -1,0 +1,103 @@
+// Figure 9: context-switching time vs stack size for the three migratable
+// thread techniques (§3.4): stack-copying, isomalloc, and memory-aliasing
+// stacks. Stack space from 8 KB to 8 MB is consumed with alloca-style
+// recursion before the timed yield loop, exactly as in the paper.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "iso/region.h"
+#include "migrate/iso_thread.h"
+#include "migrate/memalias_thread.h"
+#include "migrate/stackcopy_thread.h"
+#include "ult/scheduler.h"
+#include "util/timer.h"
+
+namespace {
+
+/// Consumes ~`bytes` of the current stack (touching each page so the data
+/// is genuinely live), then runs `body`.
+void consume_stack(std::size_t bytes, const std::function<void()>& body) {
+  if (bytes < 4096) {
+    body();
+    return;
+  }
+  volatile char page[4096];
+  for (std::size_t i = 0; i < sizeof page; i += 256) {
+    page[i] = static_cast<char>(i);
+  }
+  consume_stack(bytes - sizeof page, body);
+  // Keep `page` alive across the call so the compiler cannot elide it.
+  volatile char sink = page[0];
+  (void)sink;
+}
+
+template <typename ThreadT, typename... Extra>
+double bench_pair(std::size_t stack_consume, int yields, Extra... extra) {
+  mfc::ult::Scheduler sched;
+  // consume_stack's frames carry ~100B of overhead per 4KB page;
+  // size the stack with margin so 8MB of consumption fits.
+  const std::size_t capacity = stack_consume + stack_consume / 8 + 64 * 1024;
+  double elapsed = 0;
+  auto body = [&sched, stack_consume, yields] {
+    consume_stack(stack_consume, [&sched, yields] {
+      for (int y = 0; y < yields; ++y) sched.yield();
+    });
+  };
+  ThreadT a(body, extra..., capacity);
+  ThreadT b(body, extra..., capacity);
+  sched.ready(&a);
+  sched.ready(&b);
+  // Run until both threads sit inside the timed yield loop, then measure.
+  const double t0 = mfc::wall_time();
+  sched.run_until_idle();
+  elapsed = mfc::wall_time() - t0;
+  // 2 threads * yields switches (each yield = one switch-out + switch-in
+  // pair through the scheduler).
+  return elapsed / (2.0 * yields) * 1e6;
+}
+
+}  // namespace
+
+int main() {
+  mfc::bench::print_header(
+      "Migratable-thread context switch time (us) vs consumed stack bytes",
+      "Figure 9 (stack copying vs isomalloc vs memory-aliasing stacks)");
+
+  mfc::iso::Region::Config iso_cfg;
+  iso_cfg.npes = 1;
+  iso_cfg.slot_bytes = 64 * 1024;
+  iso_cfg.slots_per_pe = 2048;  // up to 128 MB of slots
+  mfc::iso::Region::init(iso_cfg);
+
+  std::printf("%10s %14s %14s %14s\n", "stack", "stack-copy", "isomalloc",
+              "mem-alias");
+  const std::size_t kSizes[] = {8u << 10, 32u << 10, 128u << 10, 512u << 10,
+                                2u << 20, 8u << 20};
+  for (std::size_t consume : kSizes) {
+    // Larger stacks make stack-copy switches expensive; shrink the loop to
+    // keep runtime bounded while keeping >= 30 samples.
+    const int yields = consume >= (2u << 20) ? 30 : 300;
+    const double sc = bench_pair<mfc::migrate::StackCopyThread>(consume, yields);
+    const double iso =
+        bench_pair<mfc::migrate::IsoThread>(consume, yields, /*birth_pe=*/0);
+    const double ma = bench_pair<mfc::migrate::MemAliasThread>(consume, yields);
+    char label[32];
+    if (consume >= (1u << 20)) {
+      std::snprintf(label, sizeof label, "%zuMB", consume >> 20);
+    } else {
+      std::snprintf(label, sizeof label, "%zuKB", consume >> 10);
+    }
+    std::printf("%10s %14.3f %14.3f %14.3f\n", label, sc, iso, ma);
+  }
+
+  mfc::iso::Region::shutdown();
+  std::printf("\n# expectation from the paper: stack-copy grows linearly "
+              "with live stack bytes\n# (unusable past ~20KB); isomalloc is "
+              "fastest and flat; memory-aliasing sits at a\n# near-constant "
+              "~mmap-cost plateau (~4us in the paper), far below stack-copy\n"
+              "# for large stacks.\n");
+  return 0;
+}

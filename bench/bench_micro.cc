@@ -1,0 +1,177 @@
+// Google-benchmark microbenchmarks for the runtime's hot paths. These are
+// not paper figures; they guard the constants the figures depend on
+// (swap cost, scheduler overhead, allocator, serialization).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "arch/context.h"
+#include "iso/heap.h"
+#include "iso/region.h"
+#include "pup/pup.h"
+#include "sdag/retswitch.h"
+#include "sdag/sdag.h"
+#include "ult/scheduler.h"
+
+namespace {
+
+// ---- raw context swap (the Figure 10 routine) ----
+
+mfc::arch::Context g_main, g_peer;
+
+void peer(void*) {
+  for (;;) mfc::arch::swap_context(&g_peer, &g_main);
+}
+
+void BM_RawSwap(benchmark::State& state) {
+  static std::vector<char> stack(64 * 1024);
+  g_peer = mfc::arch::make_context(stack.data(), stack.size(), peer, nullptr);
+  for (auto _ : state) {
+    mfc::arch::swap_context(&g_main, &g_peer);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // two swaps per iter
+}
+BENCHMARK(BM_RawSwap);
+
+// ---- scheduler-mediated yield (what Cth/AMPI pay per switch) ----
+
+void BM_SchedulerYield(benchmark::State& state) {
+  mfc::ult::Scheduler sched;
+  bool stop = false;
+  mfc::ult::StandardThread a([&] {
+    while (!stop) sched.yield();
+  });
+  mfc::ult::StandardThread b([&] {
+    while (!stop) sched.yield();
+  });
+  sched.ready(&a);
+  sched.ready(&b);
+  for (auto _ : state) {
+    sched.run_one();
+  }
+  stop = true;
+  sched.run_until_idle();
+}
+BENCHMARK(BM_SchedulerYield);
+
+// ---- iso heap malloc/free ----
+
+void BM_IsoHeapMallocFree(benchmark::State& state) {
+  if (!mfc::iso::Region::initialized()) {
+    mfc::iso::Region::Config cfg;
+    cfg.npes = 1;
+    cfg.slot_bytes = 64 * 1024;
+    cfg.slots_per_pe = 256;
+    mfc::iso::Region::init(cfg);
+  }
+  mfc::iso::ThreadHeap heap(0);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = heap.malloc(size);
+    benchmark::DoNotOptimize(p);
+    heap.free(p);
+  }
+}
+BENCHMARK(BM_IsoHeapMallocFree)->Arg(64)->Arg(1024)->Arg(16384);
+
+// ---- PUP round trip ----
+
+void BM_PupVectorRoundTrip(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    auto bytes = mfc::pup::to_bytes(v);
+    std::vector<double> out;
+    mfc::pup::from_bytes(bytes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(v.size() * sizeof(double)));
+}
+BENCHMARK(BM_PupVectorRoundTrip)->Arg(16)->Arg(1024)->Arg(65536);
+
+// ---- SDAG deliver/when handoff ----
+
+void BM_SdagDeliverWhen(benchmark::State& state) {
+  mfc::sdag::Coordinator coord;
+  long count = 0;
+  mfc::sdag::Task task = [](mfc::sdag::Coordinator& c, long& n) -> mfc::sdag::Task {
+    for (;;) {
+      n += co_await c.when<int>(1);
+    }
+  }(coord, count);
+  auto payload = mfc::pup::to_bytes(*std::make_unique<int>(1));
+  int one = 1;
+  payload = mfc::pup::to_bytes(one);
+  for (auto _ : state) {
+    coord.deliver(1, payload);
+  }
+  benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_SdagDeliverWhen);
+
+// ---- flow-of-control dispatch ablation (paper §2.3–2.4) ----
+// The same "advance one step" operation expressed as: an event-driven
+// method call, a return-switch (Duff's device) resumption, an SDAG
+// coroutine resumption, and a full user-level thread switch. This is the
+// cost ladder behind the paper's §2 taxonomy.
+
+struct EventObj {
+  long state = 0;
+  void step() { ++state; }
+};
+
+void BM_DispatchEventDriven(benchmark::State& state) {
+  EventObj obj;
+  for (auto _ : state) {
+    obj.step();
+    benchmark::DoNotOptimize(obj.state);
+  }
+}
+BENCHMARK(BM_DispatchEventDriven);
+
+struct RetSwitchObj {
+  mfc::sdag::RetSwitch rs;
+  long state = 0;
+  void step() {
+    MFC_RS_BEGIN(rs);
+    for (;;) {
+      ++state;
+      MFC_RS_YIELD(rs);
+    }
+    MFC_RS_END(rs);
+  }
+};
+
+void BM_DispatchReturnSwitch(benchmark::State& state) {
+  RetSwitchObj obj;
+  for (auto _ : state) {
+    obj.step();
+    benchmark::DoNotOptimize(obj.state);
+  }
+}
+BENCHMARK(BM_DispatchReturnSwitch);
+
+void BM_DispatchUltYield(benchmark::State& state) {
+  mfc::ult::Scheduler sched;
+  bool stop = false;
+  long counter = 0;
+  mfc::ult::StandardThread t([&] {
+    while (!stop) {
+      ++counter;
+      sched.yield();
+    }
+  });
+  sched.ready(&t);
+  for (auto _ : state) {
+    sched.run_one();
+    benchmark::DoNotOptimize(counter);
+  }
+  stop = true;
+  sched.run_until_idle();
+}
+BENCHMARK(BM_DispatchUltYield);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// Adaptive MPI (paper refs [15][16], §4.1, §4.5): an MPI subset in which
+// every MPI rank is a *migratable user-level thread* (isomalloc technique,
+// §3.4.2) multiplexed over the converse PEs.
+//
+// Because ranks are isomalloc threads, a rank blocked deep inside user code
+// can be packed up — stack, heap, and pending messages — and shipped to
+// another PE without the program changing a line: this is what makes the
+// measurement-based load balancing of Figure 12 "transparent".
+//
+// Subset summary:
+//   point-to-point: send/recv/isend/irecv/wait/waitall/test (+ sendrecv),
+//                   wildcard source/tag, MPI message-ordering semantics
+//   collectives:    barrier, bcast, reduce, allreduce, gather, allgather
+//                   (built over point-to-point, as a teaching runtime should)
+//   AMPI extras:    yield() (MPI_Yield), migrate() (MPI_Migrate — collective
+//                   measurement-based rebalancing), migrate_to() (directed),
+//                   wtime(), my_pe()
+//
+// Usage:
+//   ampi::Options opt;  opt.nranks = 32;  opt.npes = 4;
+//   opt.lb_strategy = mfc::lb::greedy_lb;
+//   ampi::run(opt, [] {
+//     const int r = ampi::rank();
+//     ...ordinary blocking MPI-style code...
+//   });
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "converse/machine.h"
+#include "lb/strategy.h"
+
+namespace mfc::ampi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+enum class Dtype : std::uint8_t { kByte, kInt, kLong, kUint64, kDouble };
+std::size_t dtype_size(Dtype dt);
+
+enum class Op : std::uint8_t { kSum, kMax, kMin };
+
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;  ///< received payload size
+};
+
+/// Non-blocking request handle (shared state completed by the runtime).
+struct ReqState {
+  bool done = false;
+  Status status;
+};
+using Request = std::shared_ptr<ReqState>;
+
+struct Options {
+  int nranks = 4;
+  int npes = 2;
+  std::size_t stack_bytes = 256 * 1024;
+  /// Strategy used by migrate(); defaults to greedy.
+  lb::Strategy lb_strategy;
+  /// Isomalloc sizing (passed through to the converse machine).
+  std::uint32_t iso_slots_per_pe = 4096;
+  std::size_t iso_slot_bytes = 64 * 1024;
+};
+
+/// Boots an emulated machine and runs `program` once per rank (SPMD), each
+/// rank a migratable user-level thread. Returns when every rank finished.
+void run(const Options& options, std::function<void()> program);
+
+// ---- Callable from inside a rank (the SPMD program) ----
+
+int rank();
+int size();
+int my_pe();       ///< physical PE currently hosting this rank
+double wtime();
+
+void send(const void* buf, std::size_t count, Dtype dt, int dest, int tag);
+void recv(void* buf, std::size_t count, Dtype dt, int source, int tag,
+          Status* status = nullptr);
+Request isend(const void* buf, std::size_t count, Dtype dt, int dest, int tag);
+Request irecv(void* buf, std::size_t count, Dtype dt, int source, int tag);
+void wait(const Request& request, Status* status = nullptr);
+void wait_all(std::vector<Request>& requests);
+bool test(const Request& request, Status* status = nullptr);
+void sendrecv(const void* sendbuf, std::size_t sendcount, Dtype dt, int dest,
+              int sendtag, void* recvbuf, std::size_t recvcount, int source,
+              int recvtag, Status* status = nullptr);
+
+void barrier();
+void bcast(void* buf, std::size_t count, Dtype dt, int root);
+void reduce(const void* sendbuf, void* recvbuf, std::size_t count, Dtype dt,
+            Op op, int root);
+void allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+               Dtype dt, Op op);
+void gather(const void* sendbuf, std::size_t count, Dtype dt, void* recvbuf,
+            int root);
+void allgather(const void* sendbuf, std::size_t count, Dtype dt,
+               void* recvbuf);
+void scatter(const void* sendbuf, std::size_t count, Dtype dt, void* recvbuf,
+             int root);
+void alltoall(const void* sendbuf, std::size_t count, Dtype dt,
+              void* recvbuf);
+
+/// MPI_Yield: hand the PE to other ranks without blocking (paper §4.1 —
+/// the AMPI curve in Figures 4–8 measures exactly this call).
+void yield();
+
+/// Wall-clock seconds this rank's thread has been scheduled in since the
+/// last migrate() — the measurement migrate() feeds the balancer.
+double my_load();
+
+/// Snapshot of the rank→PE placement as this PE currently sees it
+/// (benchmark/analysis hook).
+std::vector<int> rank_placement();
+
+/// MPI_Migrate: collective. Gathers per-rank loads since the previous call,
+/// runs the configured LB strategy, and transparently moves ranks to their
+/// new PEs. Returns the number of ranks that moved (same value on every
+/// rank).
+int migrate();
+
+/// Directed collective migration: every rank names its own destination PE
+/// (use my_pe() to stay). Test/benchmark hook.
+void migrate_to(int dest_pe);
+
+/// Collective proactive evacuation (paper §3: "vacate a node that is
+/// expected to fail or be shut down"): every rank resident on `failing_pe`
+/// moves to another PE (spread round-robin); everyone else stays.
+void evacuate(int failing_pe);
+
+// ---- Typed convenience wrappers ----
+
+template <typename T> Dtype dtype_of();
+template <> inline Dtype dtype_of<char>() { return Dtype::kByte; }
+template <> inline Dtype dtype_of<int>() { return Dtype::kInt; }
+template <> inline Dtype dtype_of<long>() { return Dtype::kLong; }
+template <> inline Dtype dtype_of<std::uint64_t>() { return Dtype::kUint64; }
+template <> inline Dtype dtype_of<double>() { return Dtype::kDouble; }
+
+template <typename T>
+void send(const T* buf, std::size_t count, int dest, int tag) {
+  send(buf, count, dtype_of<T>(), dest, tag);
+}
+template <typename T>
+void recv(T* buf, std::size_t count, int source, int tag,
+          Status* status = nullptr) {
+  recv(buf, count, dtype_of<T>(), source, tag, status);
+}
+template <typename T>
+T allreduce_one(T value, Op op) {
+  T result{};
+  allreduce(&value, &result, 1, dtype_of<T>(), op);
+  return result;
+}
+
+}  // namespace mfc::ampi

@@ -1,0 +1,61 @@
+#include "arch/context.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+#if !defined(__x86_64__)
+#error "mfc/arch: only x86-64 System V is implemented (see DESIGN.md §5)"
+#endif
+
+extern "C" {
+// Assembly routine from ctx_swap.S (paper Figure 10b).
+void mfc_swap_context(void** save_sp, void** load_sp);
+// Fake caller frame for thread entry functions; aborts on fall-through.
+void mfc_context_trap_asm();
+
+void mfc_context_trap() {
+  std::fprintf(stderr, "mfc: thread entry function returned (must exit via "
+                       "the scheduler); aborting\n");
+  std::abort();
+}
+}
+
+namespace mfc::arch {
+
+Context make_context(void* stack, std::size_t size, EntryFn fn, void* arg) {
+  MFC_CHECK_MSG(stack != nullptr, "null stack");
+  MFC_CHECK_MSG(size >= kMinStackBytes, "stack too small");
+
+  // Layout (addresses descending; A is 16-byte aligned):
+  //   A+8 : fake return address -> mfc_context_trap_asm
+  //   A   : entry address popped by `ret` -> fn
+  //   A-8 : %rdi slot  (thread argument: swap pops it right before ret)
+  //   A-16..A-56 : %rbp %rbx %r12 %r13 %r14 %r15 slots (zeroed)
+  // Initial sp = A-56. On entry to fn: rsp = A+8, so rsp % 16 == 8,
+  // matching the post-`call` alignment the ABI requires.
+  auto top = reinterpret_cast<std::uintptr_t>(stack) + size;
+  std::uintptr_t a = (top & ~std::uintptr_t{15}) - 16;
+  auto* words = reinterpret_cast<std::uint64_t*>(a);
+  words[1] = reinterpret_cast<std::uint64_t>(&mfc_context_trap_asm);  // A+8
+  words[0] = reinterpret_cast<std::uint64_t>(fn);                     // A
+  words[-1] = reinterpret_cast<std::uint64_t>(arg);                   // %rdi
+  words[-2] = 0;                                                      // %rbp
+  words[-3] = 0;                                                      // %rbx
+  words[-4] = 0;                                                      // %r12
+  words[-5] = 0;                                                      // %r13
+  words[-6] = 0;                                                      // %r14
+  words[-7] = 0;                                                      // %r15
+
+  Context ctx;
+  ctx.sp = words - 7;
+  return ctx;
+}
+
+void swap_context(Context* from, Context* to) {
+  MFC_DCHECK(from != nullptr && to != nullptr && to->sp != nullptr);
+  mfc_swap_context(&from->sp, &to->sp);
+}
+
+}  // namespace mfc::arch

@@ -1,0 +1,39 @@
+// Low-level execution contexts for user-level threads.
+//
+// A Context is nothing more than a saved stack pointer: all register state
+// lives on the owning stack, exactly as in the paper's Figure 10 minimal
+// swap routines. Creating a runnable context writes a bootstrap frame onto
+// a caller-provided stack so the first swap "returns" into the entry
+// function with its argument in place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mfc::arch {
+
+/// Entry point of a new flow of control. Must never return; finish by
+/// swapping away permanently (the thread library's exit path does this).
+using EntryFn = void (*)(void*);
+
+struct Context {
+  void* sp = nullptr;  ///< saved stack pointer; null until first suspend
+};
+
+/// Prepares `stack` (of `size` bytes, any alignment) so the first
+/// swap_context into the returned Context enters `fn(arg)`.
+/// The stack memory is owned by the caller and must outlive the context.
+Context make_context(void* stack, std::size_t size, EntryFn fn, void* arg);
+
+/// Switches from the currently executing context (saved into `from`) to
+/// `to`. Returns when some other flow switches back into `from`.
+void swap_context(Context* from, Context* to);
+
+/// Bytes of bootstrap frame consumed at the top of a fresh stack.
+/// Stacks must be at least this large (plus room for real frames).
+constexpr std::size_t kBootstrapBytes = 128;
+
+/// Minimum stack size accepted by make_context.
+constexpr std::size_t kMinStackBytes = 1024;
+
+}  // namespace mfc::arch

@@ -1,0 +1,51 @@
+// BigSim-analog parallel machine simulator (paper §4.4, Figure 11).
+//
+// BigSim predicts the performance of an application on a huge target
+// machine (e.g. 200,000 processors) using a small host machine, by running
+// one flow of control per *target* processor — which is exactly the
+// many-flows workload that makes user-level threads indispensable: 50,000
+// pthreads or processes per host processor is not feasible (Table 2), but
+// 50,000 user-level threads are routine.
+//
+// Our simulator runs a molecular-dynamics-like workload: each target
+// processor owns a patch of atoms on a 3D torus, and each timestep it
+//   (1) computes forces (host CPU work proportional to atoms/patch),
+//   (2) exchanges ghost messages with its 6 torus neighbors,
+//   (3) advances its virtual clock by the modeled compute + network time.
+// The *host* metric (Figure 11's y-axis) is wall-clock simulation time per
+// step; the simulator also reports the predicted target time per step from
+// its latency/bandwidth network model.
+#pragma once
+
+#include <cstdint>
+
+namespace mfc::bigsim {
+
+struct TargetConfig {
+  /// Target machine: grid_x*grid_y*grid_z simulated processors (3D torus).
+  int grid_x = 16, grid_y = 16, grid_z = 8;
+  int steps = 4;             ///< timesteps to simulate
+  int atoms_per_proc = 64;   ///< MD patch size → host work per step
+  double target_flop_rate = 1e9;   ///< modeled target-processor speed
+  double flops_per_atom = 2000.0;  ///< modeled MD work per atom per step
+  double link_latency_us = 5.0;    ///< network model alpha
+  double bytes_per_ghost = 4096;   ///< ghost message size
+  double link_bandwidth_gbs = 0.35;///< network model beta (GB/s)
+  std::size_t stack_bytes = 16 * 1024;  ///< per-target-thread stack
+};
+
+struct Result {
+  int target_procs = 0;
+  int host_pes = 0;
+  double wall_per_step = 0;        ///< host seconds per simulated step
+  double cpu_per_step = 0;         ///< aggregate host CPU seconds per step
+  double predicted_step_time = 0;  ///< modeled target seconds per step
+  std::uint64_t messages = 0;      ///< ghost messages exchanged
+};
+
+/// Runs the simulation on `host_pes` emulated host processors, with one
+/// user-level thread per target processor. Boots its own converse machine;
+/// must not be called while another machine is running.
+Result simulate(const TargetConfig& config, int host_pes);
+
+}  // namespace mfc::bigsim

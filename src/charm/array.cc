@@ -1,0 +1,261 @@
+#include "charm/array.h"
+
+#include <mutex>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mfc::charm {
+
+// Friend shim giving the (anonymous-namespace) handler lambdas access to the
+// private protocol methods.
+struct ArrayHandlers {
+  static void route(ArrayBase& a, int index, int tag, std::vector<char> p) {
+    a.handle_route(index, tag, std::move(p));
+  }
+  static void departed(ArrayBase& a, int index) { a.handle_departed(index); }
+  static void arrive(ArrayBase& a, int index, const std::vector<char>& s) {
+    a.handle_arrive(index, s);
+  }
+  static void settled(ArrayBase& a, int index, int pe) {
+    a.handle_settled(index, pe);
+  }
+  static void contribute(ArrayBase& a, int red_id, double v) {
+    a.handle_contribute(red_id, v);
+  }
+};
+
+namespace {
+
+thread_local std::unordered_map<int, ArrayBase*> t_arrays;
+
+struct RouteMsg {
+  int array_id = 0, index = 0, tag = 0;
+  std::vector<char> inner;
+  void pup(pup::Er& p) { p | array_id | index | tag | inner; }
+};
+struct DepartMsg {
+  int array_id = 0, index = 0;
+  void pup(pup::Er& p) { p | array_id | index; }
+};
+struct ArriveMsg {
+  int array_id = 0, index = 0;
+  std::vector<char> state;
+  void pup(pup::Er& p) { p | array_id | index | state; }
+};
+struct SettleMsg {
+  int array_id = 0, index = 0, pe = 0;
+  void pup(pup::Er& p) { p | array_id | index | pe; }
+};
+struct ContribMsg {
+  int array_id = 0, reduction_id = 0;
+  double value = 0;
+  void pup(pup::Er& p) { p | array_id | reduction_id | value; }
+};
+
+converse::HandlerId h_route, h_departed, h_arrive, h_settled, h_contribute;
+
+ArrayBase& array_for(int id) {
+  auto it = t_arrays.find(id);
+  MFC_CHECK_MSG(it != t_arrays.end(), "message for unknown array on this PE");
+  return *it->second;
+}
+
+void register_array_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    h_route = converse::register_handler([](converse::Message&& m) {
+      auto msg = m.as<RouteMsg>();
+      ArrayHandlers::route(array_for(msg.array_id), msg.index, msg.tag,
+                           std::move(msg.inner));
+    });
+    h_departed = converse::register_handler([](converse::Message&& m) {
+      auto msg = m.as<DepartMsg>();
+      ArrayHandlers::departed(array_for(msg.array_id), msg.index);
+    });
+    h_arrive = converse::register_handler([](converse::Message&& m) {
+      auto msg = m.as<ArriveMsg>();
+      ArrayHandlers::arrive(array_for(msg.array_id), msg.index, msg.state);
+    });
+    h_settled = converse::register_handler([](converse::Message&& m) {
+      auto msg = m.as<SettleMsg>();
+      ArrayHandlers::settled(array_for(msg.array_id), msg.index, msg.pe);
+    });
+    h_contribute = converse::register_handler([](converse::Message&& m) {
+      auto msg = m.as<ContribMsg>();
+      ArrayHandlers::contribute(array_for(msg.array_id), msg.reduction_id,
+                                msg.value);
+    });
+  });
+}
+
+// Deferred self-migration: an element that calls migrate() on itself from
+// inside on_message is moved after the method returns.
+thread_local int t_running_index = -1;
+thread_local int t_running_array = -1;
+thread_local bool t_pending_migration = false;
+thread_local int t_pending_dest = -1;
+
+}  // namespace
+
+ArrayBase* find_array(int id) {
+  auto it = t_arrays.find(id);
+  return it == t_arrays.end() ? nullptr : it->second;
+}
+
+ArrayBase::ArrayBase(int id, int count, ElementFactory factory)
+    : id_(id), count_(count), factory_(std::move(factory)) {
+  register_array_handlers();
+  MFC_CHECK_MSG(!t_arrays.contains(id_), "array id already in use on this PE");
+  t_arrays[id_] = this;
+
+  const int me = converse::my_pe();
+  const int npes = converse::num_pes();
+  for (int index = 0; index < count_; ++index) {
+    if (index % npes != me) continue;
+    // Initial placement: every element is born on its home PE.
+    home_[index] = HomeEntry{me, false, {}};
+    auto elem = factory_(index);
+    elem->index_ = index;
+    elem->array_id_ = id_;
+    local_[index] = std::move(elem);
+  }
+}
+
+ArrayBase::~ArrayBase() { t_arrays.erase(id_); }
+
+int ArrayBase::home_pe(int index) const {
+  MFC_CHECK(index >= 0 && index < count_);
+  return index % converse::num_pes();
+}
+
+void ArrayBase::send(int index, int tag, std::vector<char> payload) {
+  RouteMsg msg{id_, index, tag, std::move(payload)};
+  converse::send_value(home_pe(index), h_route, msg);
+}
+
+void ArrayBase::broadcast(int tag, const std::vector<char>& payload) {
+  for (int index = 0; index < count_; ++index) send(index, tag, payload);
+}
+
+void ArrayBase::deliver_local(int index, int tag, std::vector<char> payload) {
+  auto it = local_.find(index);
+  MFC_CHECK(it != local_.end());
+  Element* elem = it->second.get();
+
+  const int prev_index = t_running_index;
+  const int prev_array = t_running_array;
+  t_running_index = index;
+  t_running_array = id_;
+  const double start = wall_time();
+  elem->on_message(tag, std::move(payload));
+  elem->load_ += wall_time() - start;
+  t_running_index = prev_index;
+  t_running_array = prev_array;
+
+  if (t_pending_migration) {
+    t_pending_migration = false;
+    const int dest = t_pending_dest;
+    migrate(index, dest);
+  }
+}
+
+void ArrayBase::handle_route(int index, int tag, std::vector<char> payload) {
+  if (local_.contains(index)) {
+    deliver_local(index, tag, std::move(payload));
+    return;
+  }
+  const int me = converse::my_pe();
+  if (home_pe(index) == me) {
+    HomeEntry& entry = home_.at(index);
+    RouteMsg msg{id_, index, tag, std::move(payload)};
+    if (entry.in_transit) {
+      // Buffer until the element settles at its destination.
+      converse::Message buffered;
+      buffered.handler = h_route;
+      buffered.payload = pup::to_bytes(msg);
+      entry.buffered.push_back(std::move(buffered));
+    } else {
+      converse::send_value(entry.location, h_route, msg);
+    }
+    return;
+  }
+  // Stale delivery (element moved on): bounce through the home.
+  RouteMsg msg{id_, index, tag, std::move(payload)};
+  converse::send_value(home_pe(index), h_route, msg);
+}
+
+void ArrayBase::migrate(int index, int dest_pe) {
+  MFC_CHECK(dest_pe >= 0 && dest_pe < converse::num_pes());
+  if (t_running_index == index && t_running_array == id_) {
+    // Self-migration from inside on_message: defer until the method returns.
+    t_pending_migration = true;
+    t_pending_dest = dest_pe;
+    return;
+  }
+  auto it = local_.find(index);
+  MFC_CHECK_MSG(it != local_.end(), "migrate() of a non-local element");
+  if (dest_pe == converse::my_pe()) return;
+
+  ArriveMsg arrive{id_, index, pup::to_bytes(*it->second)};
+  local_.erase(it);
+  DepartMsg depart{id_, index};
+  converse::send_value(home_pe(index), h_departed, depart);
+  converse::send_value(dest_pe, h_arrive, arrive);
+}
+
+void ArrayBase::handle_departed(int index) {
+  HomeEntry& entry = home_.at(index);
+  entry.in_transit = true;
+}
+
+void ArrayBase::handle_arrive(int index, const std::vector<char>& state) {
+  auto elem = factory_(index);
+  pup::MemUnpacker u(state.data(), state.size());
+  elem->pup(u);
+  elem->index_ = index;
+  elem->array_id_ = id_;
+  local_[index] = std::move(elem);
+  SettleMsg settle{id_, index, converse::my_pe()};
+  converse::send_value(home_pe(index), h_settled, settle);
+}
+
+void ArrayBase::handle_settled(int index, int pe) {
+  HomeEntry& entry = home_.at(index);
+  entry.location = pe;
+  entry.in_transit = false;
+  for (auto& m : entry.buffered) converse::send(pe, h_route, std::move(m.payload));
+  entry.buffered.clear();
+}
+
+void ArrayBase::contribute(int reduction_id, double value) {
+  ContribMsg msg{id_, reduction_id, value};
+  converse::send_value(0, h_contribute, msg);
+}
+
+void ArrayBase::handle_contribute(int reduction_id, double value) {
+  MFC_CHECK_MSG(converse::my_pe() == 0, "reduction root is PE 0");
+  Reduction& red = reductions_[reduction_id];
+  red.accum += value;
+  if (++red.contributions == count_) {
+    const double result = red.accum;
+    reductions_.erase(reduction_id);
+    MFC_CHECK_MSG(reduction_cb_ != nullptr, "reduction completed without "
+                                            "an on_reduction callback");
+    reduction_cb_(result);
+  }
+}
+
+std::vector<int> ArrayBase::local_indices() const {
+  std::vector<int> indices;
+  indices.reserve(local_.size());
+  for (const auto& [index, _] : local_) indices.push_back(index);
+  return indices;
+}
+
+Element* ArrayBase::local_element(int index) {
+  auto it = local_.find(index);
+  return it == local_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mfc::charm

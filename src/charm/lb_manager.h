@@ -1,0 +1,28 @@
+// Measurement-based load balancing for event-driven object arrays
+// (paper §3.2 + §4.5 applied to chares instead of threads).
+//
+// The runtime measures wall time inside each element's on_message; a
+// collective rebalance() gathers those loads at PE 0, runs a pluggable
+// strategy (the same lb::Strategy used by AMPI), and issues migration
+// commands. Application elements notice nothing: messages in flight are
+// buffered by their home PE during transit.
+#pragma once
+
+#include "charm/array.h"
+#include "lb/strategy.h"
+
+namespace mfc::charm {
+
+struct RebalanceResult {
+  int migrations = 0;         ///< elements moved machine-wide
+  double imbalance_before = 0;  ///< max/mean PE load from the measurements
+  double imbalance_after = 0;   ///< max/mean PE load under the new mapping
+};
+
+/// Collective: every PE calls rebalance() from its main user-level thread
+/// with the same array and strategy. Blocks until the new placement is
+/// fully settled (all migrations acknowledged by the homes). Element loads
+/// are reset so the next episode measures fresh activity.
+RebalanceResult rebalance(ArrayBase& array, const lb::Strategy& strategy);
+
+}  // namespace mfc::charm

@@ -1,0 +1,313 @@
+#include "converse/machine.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/log.h"
+#include "util/queue.h"
+
+namespace mfc::converse {
+
+namespace {
+
+// ---- Handler registry (shared by every PE / address space; populated
+// before the machine boots so ids agree machine-wide) ----
+
+std::mutex g_handler_mutex;
+std::vector<HandlerFn>& handler_table() {
+  static std::vector<HandlerFn> table;
+  return table;
+}
+
+struct Pe {
+  int id = -1;
+  MpscQueue<Message> queue;
+  ult::Scheduler sched;
+  ult::Thread* barrier_waiter = nullptr;
+  std::uint64_t barrier_gen = 0;
+  std::vector<ult::Thread*> quiescence_waiters;
+};
+
+struct MachineState {
+  int npes = 0;
+  std::vector<std::unique_ptr<Pe>> pes;
+  std::atomic<int> mains_finished{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> delivered{0};
+  // Quiescence-detection bookkeeping. QD's own messages are excluded from
+  // the application counts via these counters.
+  std::atomic<std::uint64_t> qd_sent{0};
+  std::atomic<std::uint64_t> qd_delivered{0};
+  std::atomic<bool> qd_round_active{false};
+  // PE0-only barrier bookkeeping (touched exclusively from PE0's loop).
+  std::unordered_map<std::uint64_t, int> barrier_counts;
+};
+
+MachineState* g_machine = nullptr;
+thread_local Pe* t_pe = nullptr;
+
+struct BarrierMsg {
+  std::uint64_t gen = 0;
+  void pup(pup::Er& p) { p | gen; }
+};
+
+HandlerId h_barrier_arrive = 0;
+HandlerId h_barrier_release = 0;
+HandlerId h_qd_start = 0;
+HandlerId h_qd_token = 0;
+HandlerId h_qd_release = 0;
+
+struct QdToken {
+  std::uint64_t app_sent_at_start = 0;
+  std::int32_t hops = 0;
+  std::uint8_t all_idle = 1;
+  void pup(pup::Er& p) { p | app_sent_at_start | hops | all_idle; }
+};
+
+std::uint64_t app_sent() {
+  return g_machine->sent.load() - g_machine->qd_sent.load();
+}
+std::uint64_t app_delivered() {
+  return g_machine->delivered.load() - g_machine->qd_delivered.load();
+}
+
+/// QD system send: counted separately so tokens don't disturb the counts
+/// they are observing.
+void qd_send(int pe, HandlerId handler, const std::vector<char>& payload) {
+  g_machine->qd_sent.fetch_add(1, std::memory_order_relaxed);
+  send(pe, handler, payload);
+}
+
+void qd_start_round() {
+  QdToken token;
+  token.app_sent_at_start = app_sent();
+  qd_send(0, h_qd_token, pup::to_bytes(token));
+}
+
+void dispatch(Message&& m) {
+  HandlerFn* fn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_handler_mutex);
+    MFC_CHECK_MSG(m.handler < handler_table().size(), "unknown handler id");
+    fn = &handler_table()[m.handler];
+  }
+  g_machine->delivered.fetch_add(1, std::memory_order_relaxed);
+  (*fn)(std::move(m));
+}
+
+void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
+  t_pe = pe;
+  ult::Scheduler::set_current(&pe->sched);
+
+  auto* main_thread = new ult::StandardThread(
+      [pe, &entry] {
+        entry(pe->id);
+        if (g_machine->mains_finished.fetch_add(1) + 1 == g_machine->npes) {
+          g_machine->stop.store(true);
+          for (auto& other : g_machine->pes) other->queue.wake();
+        }
+      },
+      512 * 1024);
+  main_thread->set_delete_on_exit(true);
+  pe->sched.ready(main_thread);
+
+  while (!g_machine->stop.load(std::memory_order_acquire)) {
+    bool progress = false;
+    while (auto m = pe->queue.try_pop()) {
+      dispatch(std::move(*m));
+      progress = true;
+    }
+    if (pe->sched.run_one()) progress = true;
+    if (!progress) {
+      // Idle: block until a message arrives or shutdown wakes us.
+      if (auto m = pe->queue.pop_wait()) dispatch(std::move(*m));
+    }
+  }
+
+  ult::Scheduler::set_current(nullptr);
+  t_pe = nullptr;
+}
+
+void register_builtin_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    h_barrier_arrive = register_handler([](Message&& m) {
+      // Runs on PE0: count arrivals per generation; release when complete.
+      auto msg = m.as<BarrierMsg>();
+      int& count = g_machine->barrier_counts[msg.gen];
+      if (++count == g_machine->npes) {
+        g_machine->barrier_counts.erase(msg.gen);
+        std::vector<char> payload = pup::to_bytes(msg);
+        broadcast(h_barrier_release, payload);
+      }
+    });
+    h_barrier_release = register_handler([](Message&& m) {
+      auto msg = m.as<BarrierMsg>();
+      Pe* pe = t_pe;
+      MFC_CHECK_MSG(pe->barrier_waiter != nullptr && pe->barrier_gen == msg.gen,
+                    "barrier release without waiter");
+      ult::Thread* waiter = pe->barrier_waiter;
+      pe->barrier_waiter = nullptr;
+      pe->sched.ready(waiter);
+    });
+    // Quiescence detection: Mattern-style counting token ring. A token
+    // visits every PE in order; if every PE was locally idle during its
+    // visit AND the application send/deliver counts were equal and
+    // unchanged across the whole round, the machine is quiet.
+    h_qd_start = register_handler([](Message&&) {
+      g_machine->qd_delivered.fetch_add(1);
+      MFC_CHECK(t_pe->id == 0);
+      if (!g_machine->qd_round_active.exchange(true)) qd_start_round();
+    });
+    h_qd_token = register_handler([](Message&& m) {
+      g_machine->qd_delivered.fetch_add(1);
+      auto token = m.as<QdToken>();
+      Pe* pe = t_pe;
+      if (token.hops == g_machine->npes) {
+        // The token visited every PE and came back to PE 0: decide.
+        MFC_CHECK(pe->id == 0);
+        const bool quiet = token.all_idle != 0 &&
+                           app_sent() == token.app_sent_at_start &&
+                           app_delivered() == token.app_sent_at_start;
+        if (quiet) {
+          g_machine->qd_round_active.store(false);
+          for (int p = 0; p < g_machine->npes; ++p) {
+            qd_send(p, h_qd_release, {});
+          }
+        } else {
+          qd_start_round();  // something moved: try again
+        }
+        return;
+      }
+      if (pe->sched.ready_count() > 0) token.all_idle = 0;
+      token.hops += 1;
+      qd_send((pe->id + 1) % g_machine->npes, h_qd_token,
+              pup::to_bytes(token));
+    });
+    h_qd_release = register_handler([](Message&&) {
+      g_machine->qd_delivered.fetch_add(1);
+      Pe* pe = t_pe;
+      for (ult::Thread* t : pe->quiescence_waiters) pe->sched.ready(t);
+      pe->quiescence_waiters.clear();
+    });
+  });
+}
+
+}  // namespace
+
+HandlerId register_handler(HandlerFn fn) {
+  std::lock_guard<std::mutex> lock(g_handler_mutex);
+  handler_table().push_back(std::move(fn));
+  return static_cast<HandlerId>(handler_table().size() - 1);
+}
+
+void Machine::run(const Config& config, std::function<void(int)> entry) {
+  MFC_CHECK_MSG(g_machine == nullptr, "Machine::run is not reentrant");
+  MFC_CHECK(config.npes >= 1);
+  register_builtin_handlers();
+
+  const bool owns_region =
+      config.iso_slots_per_pe > 0 && !iso::Region::initialized();
+  if (owns_region) {
+    iso::Region::Config iso_cfg;
+    iso_cfg.npes = config.npes;
+    iso_cfg.slot_bytes = config.iso_slot_bytes;
+    iso_cfg.slots_per_pe = config.iso_slots_per_pe;
+    iso::Region::init(iso_cfg);
+  }
+
+  g_machine = new MachineState();
+  g_machine->npes = config.npes;
+  for (int i = 0; i < config.npes; ++i) {
+    auto pe = std::make_unique<Pe>();
+    pe->id = i;
+    g_machine->pes.push_back(std::move(pe));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.npes));
+  for (int i = 0; i < config.npes; ++i) {
+    threads.emplace_back(pe_loop, g_machine->pes[static_cast<std::size_t>(i)].get(),
+                         std::cref(entry));
+  }
+  for (auto& t : threads) t.join();
+
+  delete g_machine;
+  g_machine = nullptr;
+  if (owns_region) iso::Region::shutdown();
+}
+
+int my_pe() {
+  MFC_CHECK_MSG(t_pe != nullptr, "not on a PE kernel thread");
+  return t_pe->id;
+}
+
+int num_pes() {
+  MFC_CHECK_MSG(g_machine != nullptr, "machine not running");
+  return g_machine->npes;
+}
+
+bool in_pe_context() { return t_pe != nullptr; }
+
+void send(int dest_pe, HandlerId handler, std::vector<char> payload) {
+  MFC_CHECK(g_machine != nullptr);
+  MFC_CHECK(dest_pe >= 0 && dest_pe < g_machine->npes);
+  Message m;
+  m.handler = handler;
+  m.src_pe = t_pe ? t_pe->id : -1;
+  m.dest_pe = dest_pe;
+  m.payload = std::move(payload);
+  g_machine->sent.fetch_add(1, std::memory_order_relaxed);
+  g_machine->pes[static_cast<std::size_t>(dest_pe)]->queue.push(std::move(m));
+}
+
+void broadcast(HandlerId handler, const std::vector<char>& payload) {
+  for (int pe = 0; pe < num_pes(); ++pe) send(pe, handler, payload);
+}
+
+void barrier() {
+  Pe* pe = t_pe;
+  MFC_CHECK_MSG(pe != nullptr, "barrier() outside PE context");
+  MFC_CHECK_MSG(pe->sched.in_thread(), "barrier() must run inside a ULT");
+  MFC_CHECK_MSG(pe->barrier_waiter == nullptr,
+                "one barrier waiter per PE at a time");
+  pe->barrier_gen += 1;
+  pe->barrier_waiter = pe->sched.running();
+  BarrierMsg msg{pe->barrier_gen};
+  send_value(0, h_barrier_arrive, msg);
+  pe->sched.suspend();  // resumed by the release handler
+}
+
+void ready_thread(ult::Thread* t) {
+  MFC_CHECK_MSG(t_pe != nullptr, "ready_thread outside PE context");
+  t_pe->sched.ready(t);
+}
+
+ult::Scheduler& pe_scheduler() {
+  MFC_CHECK_MSG(t_pe != nullptr, "pe_scheduler outside PE context");
+  return t_pe->sched;
+}
+
+std::uint64_t messages_sent() {
+  return g_machine ? g_machine->sent.load() : 0;
+}
+
+std::uint64_t messages_delivered() {
+  return g_machine ? g_machine->delivered.load() : 0;
+}
+
+void wait_quiescence() {
+  Pe* pe = t_pe;
+  MFC_CHECK_MSG(pe != nullptr && pe->sched.in_thread(),
+                "wait_quiescence() must run inside a ULT on a PE");
+  pe->quiescence_waiters.push_back(pe->sched.running());
+  qd_send(0, h_qd_start, {});
+  pe->sched.suspend();
+}
+
+}  // namespace mfc::converse

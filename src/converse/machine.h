@@ -1,0 +1,112 @@
+// Converse-style machine layer (paper §2.4): an emulated multi-processor
+// parallel machine inside one process.
+//
+// Each PE (processing element) is a kernel thread running a message-driven
+// scheduler loop plus a user-level-thread scheduler. PEs communicate only
+// through active messages — byte payloads dispatched to registered handlers
+// — never by touching each other's state, so the same code paths work when
+// PEs live in different address spaces (see the fork transport in
+// proc_machine.h).
+//
+// Each PE's entry function runs inside a user-level "main" thread, so it can
+// block (barrier(), AMPI receives, …) while the PE keeps processing
+// messages — exactly the blocking-calls-over-scheduler structure the paper
+// describes for AMPI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "iso/region.h"
+#include "pup/pup.h"
+#include "ult/scheduler.h"
+
+namespace mfc::converse {
+
+using HandlerId = std::uint32_t;
+
+struct Message {
+  HandlerId handler = 0;
+  std::int32_t src_pe = -1;
+  std::int32_t dest_pe = -1;
+  std::vector<char> payload;
+
+  void pup(pup::Er& p) { p | handler | src_pe | dest_pe | payload; }
+
+  /// Unpacks the payload into a PUP-able value.
+  template <typename T>
+  T as() const {
+    T value{};
+    pup::MemUnpacker u(payload.data(), payload.size());
+    pup::pup(u, value);
+    return value;
+  }
+};
+
+/// Handlers run on the destination PE's scheduler context (not inside a
+/// ULT); they must not block, but may ready() threads and send messages.
+using HandlerFn = std::function<void(Message&&)>;
+
+/// Registers a handler. All PEs share the registry; handlers must be
+/// registered before Machine::run (or identically on every address space
+/// before the transport forks) so ids agree machine-wide.
+HandlerId register_handler(HandlerFn fn);
+
+class Machine {
+ public:
+  struct Config {
+    int npes = 2;
+    /// When set, initializes the isomalloc region for `npes` strips
+    /// (skipped if the region already exists or iso_slots_per_pe == 0).
+    std::uint32_t iso_slots_per_pe = 2048;
+    std::size_t iso_slot_bytes = 256 * 1024;
+  };
+
+  /// Boots the machine: spawns one kernel thread per PE, runs `entry(pe)`
+  /// as that PE's main user-level thread, and services messages until every
+  /// main thread has finished. Returns after all PEs shut down.
+  static void run(const Config& config, std::function<void(int)> entry);
+};
+
+// ---- Per-PE API (valid on a PE's kernel thread during Machine::run) ----
+
+int my_pe();
+int num_pes();
+bool in_pe_context();
+
+/// Sends an active message (payload is a PUP-able value).
+void send(int dest_pe, HandlerId handler, std::vector<char> payload);
+
+template <typename T>
+void send_value(int dest_pe, HandlerId handler, const T& value) {
+  send(dest_pe, handler, pup::to_bytes(value));
+}
+
+/// Sends to every PE (including the caller).
+void broadcast(HandlerId handler, const std::vector<char>& payload);
+
+/// Blocks the calling user-level thread until every PE has entered the
+/// barrier (message-based; callable once per PE per episode, typically from
+/// the main thread).
+void barrier();
+
+/// Readies a thread on the *calling* PE's scheduler (handlers use this to
+/// resume blocked threads). Cross-PE resumption must go through a message.
+void ready_thread(ult::Thread* t);
+
+/// The calling PE's user-level scheduler.
+ult::Scheduler& pe_scheduler();
+
+/// Statistics for benchmarks.
+std::uint64_t messages_sent();
+std::uint64_t messages_delivered();
+
+/// Quiescence detection: blocks the calling user-level thread until every
+/// message sent anywhere in the machine has been delivered and no PE has
+/// runnable work other than threads parked in wait_quiescence() itself.
+/// Multiple PEs may wait concurrently (typically all of them, making it a
+/// "whole computation finished" detector for message-driven phases).
+void wait_quiescence();
+
+}  // namespace mfc::converse

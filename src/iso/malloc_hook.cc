@@ -1,0 +1,63 @@
+// Strong-symbol interposition of the C allocator (paper §3.4.2):
+//
+//   "we extended this approach by overriding the system malloc/free routines
+//    to use the new isomalloc/free when it is called within a thread ...
+//    malloc/free called from outside the threading context is still directed
+//    to the normal system version."
+//
+// Linking this object into an executable makes plain malloc()/free() calls —
+// including those inside third-party code and libstdc++'s operator new —
+// allocate from the current migratable thread's isomalloc heap whenever a
+// thread context is active (iso::set_current_heap). free() routes by address
+// so pointers may cross contexts safely.
+//
+// glibc's internal entry points (__libc_malloc etc.) provide the fallback,
+// avoiding the dlsym(RTLD_NEXT) bootstrap problem.
+
+#include <cstddef>
+#include <cstring>
+
+#include "iso/heap.h"
+
+extern "C" {
+void* __libc_malloc(std::size_t size);
+void __libc_free(void* p);
+void* __libc_calloc(std::size_t nmemb, std::size_t size);
+void* __libc_realloc(void* p, std::size_t size);
+
+void* malloc(std::size_t size) {
+  if (auto* heap = mfc::iso::current_heap()) return heap->malloc(size);
+  return __libc_malloc(size);
+}
+
+void free(void* p) {
+  if (p == nullptr) return;
+  if (mfc::iso::Region::initialized() &&
+      mfc::iso::Region::instance().contains(p)) {
+    mfc::iso::ThreadHeap::free_anywhere(p);
+    return;
+  }
+  __libc_free(p);
+}
+
+void* calloc(std::size_t nmemb, std::size_t size) {
+  if (auto* heap = mfc::iso::current_heap()) return heap->calloc(nmemb, size);
+  return __libc_calloc(nmemb, size);
+}
+
+void* realloc(void* p, std::size_t size) {
+  const bool iso_ptr = p != nullptr && mfc::iso::Region::initialized() &&
+                       mfc::iso::Region::instance().contains(p);
+  if (auto* heap = mfc::iso::current_heap(); heap && (p == nullptr || iso_ptr)) {
+    return heap->realloc(p, size);
+  }
+  if (iso_ptr) {
+    const std::size_t old_size = mfc::iso::ThreadHeap::payload_size(p);
+    void* q = __libc_malloc(size);
+    if (q) std::memcpy(q, p, old_size < size ? old_size : size);
+    mfc::iso::ThreadHeap::free_anywhere(p);
+    return q;
+  }
+  return __libc_realloc(p, size);
+}
+}  // extern "C"

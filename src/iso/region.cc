@@ -1,0 +1,144 @@
+#include "iso/region.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace mfc::iso {
+
+namespace {
+Region* g_region = nullptr;
+}
+
+void Region::init(const Config& config) {
+  MFC_CHECK_MSG(g_region == nullptr, "iso::Region::init called twice");
+  MFC_CHECK(config.npes >= 1);
+  MFC_CHECK(config.slots_per_pe >= 1);
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  MFC_CHECK_MSG(config.slot_bytes % page == 0, "slot_bytes must be page-multiple");
+  g_region = new Region(config);
+}
+
+void Region::shutdown() {
+  delete g_region;
+  g_region = nullptr;
+}
+
+bool Region::initialized() { return g_region != nullptr; }
+
+Region& Region::instance() {
+  MFC_CHECK_MSG(g_region != nullptr, "iso::Region not initialized");
+  return *g_region;
+}
+
+Region::Region(const Config& config) : config_(config) {
+  total_bytes_ = static_cast<std::size_t>(config_.npes) *
+                 config_.slots_per_pe * config_.slot_bytes;
+  base_ = mmap(nullptr, total_bytes_, PROT_NONE,
+               MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  MFC_CHECK_MSG(base_ != MAP_FAILED, "isomalloc reservation failed");
+  strips_ = std::vector<Strip>(static_cast<std::size_t>(config_.npes));
+  for (auto& strip : strips_) {
+    strip.used.assign(config_.slots_per_pe, false);
+  }
+  MFC_LOG_INFO("isomalloc region: base=%p bytes=%zu (%d PEs x %u slots x %zu B)",
+               base_, total_bytes_, config_.npes, config_.slots_per_pe,
+               config_.slot_bytes);
+}
+
+Region::~Region() { munmap(base_, total_bytes_); }
+
+SlotId Region::try_acquire(int pe, std::uint32_t count) {
+  MFC_CHECK(pe >= 0 && pe < config_.npes);
+  MFC_CHECK(count >= 1 && count <= config_.slots_per_pe);
+  Strip& strip = strips_[static_cast<std::size_t>(pe)];
+  std::lock_guard<std::mutex> lock(strip.mutex);
+  const std::uint32_t n = config_.slots_per_pe;
+  // Next-fit scan for `count` consecutive free slots.
+  for (std::uint32_t attempt = 0; attempt < n; ++attempt) {
+    const std::uint32_t start = (strip.search_hint + attempt) % n;
+    if (start + count > n) continue;
+    bool all_free = true;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      if (strip.used[start + k]) {
+        all_free = false;
+        break;
+      }
+    }
+    if (!all_free) continue;
+    for (std::uint32_t k = 0; k < count; ++k) strip.used[start + k] = true;
+    strip.used_count += count;
+    strip.search_hint = (start + count) % n;
+    SlotId id{pe, start, count};
+    install(id);
+    return id;
+  }
+  return SlotId{};
+}
+
+SlotId Region::acquire(int pe, std::uint32_t count) {
+  SlotId id = try_acquire(pe, count);
+  MFC_CHECK_MSG(id.valid(), "isomalloc strip exhausted (virtual address space "
+                            "limit — see paper §3.4.2)");
+  return id;
+}
+
+void Region::release(SlotId id) {
+  MFC_CHECK(id.valid());
+  evacuate(id);
+  Strip& strip = strips_[static_cast<std::size_t>(id.pe)];
+  std::lock_guard<std::mutex> lock(strip.mutex);
+  for (std::uint32_t k = 0; k < id.count; ++k) {
+    MFC_CHECK_MSG(strip.used[id.index + k], "double release of iso slot");
+    strip.used[id.index + k] = false;
+  }
+  strip.used_count -= id.count;
+}
+
+void* Region::slot_base(SlotId id) const {
+  MFC_CHECK(id.valid());
+  const std::size_t strip_bytes =
+      static_cast<std::size_t>(config_.slots_per_pe) * config_.slot_bytes;
+  return static_cast<char*>(base_) +
+         static_cast<std::size_t>(id.pe) * strip_bytes +
+         static_cast<std::size_t>(id.index) * config_.slot_bytes;
+}
+
+void Region::evacuate(SlotId id) {
+  void* addr = slot_base(id);
+  // Re-establish the PROT_NONE reservation over the slot, dropping its
+  // physical pages — the remote copy is now the only one, mirroring
+  // distributed-memory migration even in the in-process emulation.
+  void* r = mmap(addr, slot_span(id), PROT_NONE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+  MFC_CHECK_MSG(r == addr, "iso evacuate remap failed");
+}
+
+void Region::install(SlotId id) {
+  void* addr = slot_base(id);
+  void* r = mmap(addr, slot_span(id), PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  MFC_CHECK_MSG(r == addr, "iso install remap failed");
+}
+
+bool Region::contains(const void* p) const {
+  const char* c = static_cast<const char*>(p);
+  const char* b = static_cast<const char*>(base_);
+  return c >= b && c < b + total_bytes_;
+}
+
+std::uint32_t Region::used_slots(int pe) const {
+  MFC_CHECK(pe >= 0 && pe < config_.npes);
+  return strips_[static_cast<std::size_t>(pe)].used_count;
+}
+
+std::uint32_t Region::free_slots(int pe) const {
+  return config_.slots_per_pe - used_slots(pe);
+}
+
+}  // namespace mfc::iso

@@ -1,0 +1,105 @@
+// Isomalloc region — the paper's §3.4.2 machine-wide virtual address space
+// partition (Figure 2).
+//
+// At startup all processors agree on one large region of virtual address
+// space, divided into per-PE strips of fixed-size slots. A PE hands local
+// threads slots from its own strip, so every slot address is unique across
+// the whole machine. A migrating thread keeps its slot addresses for life:
+// on arrival the destination maps the *same* virtual addresses and copies
+// the bytes in — no pointer inside the thread's stack or heap ever needs
+// fixing up.
+//
+// Physical memory is only committed for locally-resident slots: everything
+// else stays PROT_NONE, exactly the paper's use of mmap to keep the
+// (potentially enormous) reservation cheap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "pup/pup.h"
+
+namespace mfc::iso {
+
+/// Identifies one slot: the strip (birth PE) it was allocated from and its
+/// index within that strip. Identity — and therefore address — never changes,
+/// even after the owning thread migrates.
+struct SlotId {
+  std::int32_t pe = -1;
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;  ///< number of contiguous slots (multi-slot blocks)
+
+  bool valid() const { return pe >= 0; }
+  friend bool operator==(const SlotId&, const SlotId&) = default;
+
+  void pup(pup::Er& p) { p | pe | index | count; }
+};
+
+class Region {
+ public:
+  struct Config {
+    int npes = 1;
+    std::size_t slot_bytes = 256 * 1024;  ///< must be page-multiple
+    std::uint32_t slots_per_pe = 1024;
+  };
+
+  /// Reserves the machine-wide region (PROT_NONE). Must run before any PE
+  /// starts, and — for the fork transport — before fork, so every address
+  /// space inherits the same reservation.
+  static void init(const Config& config);
+  static void shutdown();
+  static bool initialized();
+  static Region& instance();
+
+  /// Acquires `count` contiguous free slots from `pe`'s strip and maps them
+  /// read/write. Aborts if the strip is exhausted (address space is a hard
+  /// resource; see the paper's 32-bit discussion).
+  SlotId acquire(int pe, std::uint32_t count = 1);
+
+  /// Tries to acquire; returns an invalid SlotId instead of aborting.
+  SlotId try_acquire(int pe, std::uint32_t count = 1);
+
+  /// Returns the slots to the strip free pool and drops their pages.
+  void release(SlotId id);
+
+  /// Virtual address of the slot — identical on every PE by construction.
+  void* slot_base(SlotId id) const;
+  std::size_t slot_span(SlotId id) const { return id.count * config_.slot_bytes; }
+
+  /// Migration: drop the local pages (after the contents were packed).
+  void evacuate(SlotId id);
+  /// Migration: re-map the same addresses read/write (before unpacking).
+  void install(SlotId id);
+
+  /// True when `p` points inside the isomalloc reservation — used by the
+  /// malloc-interposition layer to route free() correctly.
+  bool contains(const void* p) const;
+
+  const Config& config() const { return config_; }
+  void* base() const { return base_; }
+  std::size_t reservation_bytes() const { return total_bytes_; }
+  std::uint32_t used_slots(int pe) const;
+  std::uint32_t free_slots(int pe) const;
+
+ private:
+  explicit Region(const Config& config);
+  ~Region();
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  struct Strip {
+    std::mutex mutex;
+    std::vector<bool> used;  ///< per-slot occupancy bitmap
+    std::uint32_t used_count = 0;
+    std::uint32_t search_hint = 0;  ///< next-fit start for contiguous scans
+  };
+
+  Config config_;
+  void* base_ = nullptr;
+  std::size_t total_bytes_ = 0;
+  std::vector<Strip> strips_;
+};
+
+}  // namespace mfc::iso

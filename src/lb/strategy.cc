@@ -1,0 +1,157 @@
+#include "lb/strategy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mfc::lb {
+
+namespace {
+
+void check_args(const std::vector<double>& loads, const Mapping& current,
+                int npes) {
+  MFC_CHECK(npes >= 1);
+  MFC_CHECK(loads.size() == current.size());
+  for (int pe : current) MFC_CHECK(pe >= 0 && pe < npes);
+}
+
+}  // namespace
+
+Mapping null_lb(const std::vector<double>& loads, const Mapping& current,
+                int npes) {
+  check_args(loads, current, npes);
+  return current;
+}
+
+Mapping greedy_lb(const std::vector<double>& loads, const Mapping& current,
+                  int npes) {
+  check_args(loads, current, npes);
+  const std::size_t n = loads.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return loads[a] > loads[b];
+  });
+
+  // Min-heap of (pe_load, pe).
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int pe = 0; pe < npes; ++pe) heap.emplace(0.0, pe);
+
+  Mapping mapping(n);
+  for (std::size_t obj : order) {
+    auto [load, pe] = heap.top();
+    heap.pop();
+    mapping[obj] = pe;
+    heap.emplace(load + loads[obj], pe);
+  }
+  return mapping;
+}
+
+Mapping refine_lb(const std::vector<double>& loads, const Mapping& current,
+                  int npes, double tolerance) {
+  check_args(loads, current, npes);
+  Mapping mapping = current;
+  std::vector<double> pe_load = pe_loads(loads, mapping, npes);
+  const double total = std::accumulate(pe_load.begin(), pe_load.end(), 0.0);
+  const double target = tolerance * total / npes;
+
+  // Objects on each PE, heaviest first, so we move few, large objects.
+  std::vector<std::vector<std::size_t>> objs_on(
+      static_cast<std::size_t>(npes));
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    objs_on[static_cast<std::size_t>(mapping[i])].push_back(i);
+  }
+  for (auto& v : objs_on) {
+    std::stable_sort(v.begin(), v.end(), [&](std::size_t a, std::size_t b) {
+      return loads[a] > loads[b];
+    });
+  }
+
+  for (int pe = 0; pe < npes; ++pe) {
+    auto& mine = objs_on[static_cast<std::size_t>(pe)];
+    std::size_t next = 0;
+    while (pe_load[static_cast<std::size_t>(pe)] > target &&
+           next < mine.size()) {
+      const std::size_t obj = mine[next++];
+      // Move to the currently lightest PE, if that actually helps.
+      const auto lightest = static_cast<int>(
+          std::min_element(pe_load.begin(), pe_load.end()) - pe_load.begin());
+      if (lightest == pe) break;
+      if (pe_load[static_cast<std::size_t>(lightest)] + loads[obj] >=
+          pe_load[static_cast<std::size_t>(pe)]) {
+        continue;  // moving this object would not reduce the maximum
+      }
+      mapping[obj] = lightest;
+      pe_load[static_cast<std::size_t>(pe)] -= loads[obj];
+      pe_load[static_cast<std::size_t>(lightest)] += loads[obj];
+    }
+  }
+  return mapping;
+}
+
+Mapping random_lb(const std::vector<double>& loads, const Mapping& current,
+                  int npes, std::uint64_t seed) {
+  check_args(loads, current, npes);
+  SplitMix64 rng(seed);
+  Mapping mapping(current.size());
+  for (auto& pe : mapping) {
+    pe = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(npes)));
+  }
+  return mapping;
+}
+
+Mapping rotate_lb(const std::vector<double>& loads, const Mapping& current,
+                  int npes) {
+  check_args(loads, current, npes);
+  Mapping mapping = current;
+  for (auto& pe : mapping) pe = (pe + 1) % npes;
+  return mapping;
+}
+
+std::vector<double> pe_loads(const std::vector<double>& loads,
+                             const Mapping& mapping, int npes) {
+  std::vector<double> totals(static_cast<std::size_t>(npes), 0.0);
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    totals[static_cast<std::size_t>(mapping[i])] += loads[i];
+  }
+  return totals;
+}
+
+double mapping_imbalance(const std::vector<double>& loads,
+                         const Mapping& mapping, int npes) {
+  return imbalance_ratio(pe_loads(loads, mapping, npes));
+}
+
+int migration_count(const Mapping& before, const Mapping& after) {
+  MFC_CHECK(before.size() == after.size());
+  int moved = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) ++moved;
+  }
+  return moved;
+}
+
+Strategy strategy_by_name(const std::string& name) {
+  if (name == "null") return null_lb;
+  if (name == "greedy") return greedy_lb;
+  if (name == "refine") {
+    return [](const std::vector<double>& l, const Mapping& c, int p) {
+      return refine_lb(l, c, p);
+    };
+  }
+  if (name == "random") {
+    return [](const std::vector<double>& l, const Mapping& c, int p) {
+      return random_lb(l, c, p);
+    };
+  }
+  if (name == "rotate") return rotate_lb;
+  MFC_CHECK_MSG(false, "unknown LB strategy name");
+  return nullptr;
+}
+
+}  // namespace mfc::lb

@@ -1,0 +1,66 @@
+// Load-balancing strategies (paper §3, §4.5).
+//
+// A strategy maps N work objects (threads, chares, AMPI ranks) with measured
+// loads onto P processors. Strategies are pure functions of the measured
+// load vector and the current placement, so they are unit-testable in
+// isolation and shared between the AMPI thread balancer and the chare-array
+// balancer. This mirrors the Charm++ structure: measurement in the runtime,
+// decisions in pluggable strategies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mfc::lb {
+
+/// New placement for each object: result[i] = destination PE of object i.
+using Mapping = std::vector<int>;
+
+/// Strategy signature shared with the AMPI runtime: per-object loads
+/// (seconds), current placement, and processor count.
+using Strategy = std::function<Mapping(const std::vector<double>& loads,
+                                       const Mapping& current, int npes)>;
+
+/// Leaves every object where it is (the "no LB" baseline in Figure 12).
+Mapping null_lb(const std::vector<double>& loads, const Mapping& current,
+                int npes);
+
+/// Classic greedy: objects in decreasing load order, each to the currently
+/// least-loaded PE. Produces near-optimal balance but ignores migration
+/// cost (may move almost everything).
+Mapping greedy_lb(const std::vector<double>& loads, const Mapping& current,
+                  int npes);
+
+/// Refinement: moves objects away from overloaded PEs (load > tolerance ×
+/// average) onto the least-loaded PEs, preferring to keep objects in place.
+/// Fewer migrations than greedy at slightly worse balance.
+Mapping refine_lb(const std::vector<double>& loads, const Mapping& current,
+                  int npes, double tolerance = 1.02);
+
+/// Uniform-random placement (a stress-test baseline, not a real balancer).
+Mapping random_lb(const std::vector<double>& loads, const Mapping& current,
+                  int npes, std::uint64_t seed = 1);
+
+/// Cyclic shift: object on PE p moves to (p+1) mod npes. Exercises the
+/// migration machinery maximally; used by migration stress tests.
+Mapping rotate_lb(const std::vector<double>& loads, const Mapping& current,
+                  int npes);
+
+/// Per-PE load totals implied by a mapping.
+std::vector<double> pe_loads(const std::vector<double>& loads,
+                             const Mapping& mapping, int npes);
+
+/// max/mean over the PE loads implied by a mapping (1.0 = perfect).
+double mapping_imbalance(const std::vector<double>& loads,
+                         const Mapping& mapping, int npes);
+
+/// Number of objects whose placement changed.
+int migration_count(const Mapping& before, const Mapping& after);
+
+/// Named strategy lookup for benchmark harnesses ("greedy", "refine",
+/// "null", "random", "rotate").
+Strategy strategy_by_name(const std::string& name);
+
+}  // namespace mfc::lb

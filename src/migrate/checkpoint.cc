@@ -1,0 +1,78 @@
+#include "migrate/checkpoint.h"
+
+#include <cstdio>
+
+#include "iso/region.h"
+#include "util/check.h"
+
+namespace mfc::migrate {
+
+Checkpoint::RegionStamp Checkpoint::current_stamp() {
+  RegionStamp stamp;
+  if (iso::Region::initialized()) {
+    const iso::Region& region = iso::Region::instance();
+    stamp.base = reinterpret_cast<std::uint64_t>(region.base());
+    stamp.slot_bytes = region.config().slot_bytes;
+    stamp.slots_per_pe = region.config().slots_per_pe;
+    stamp.npes = region.config().npes;
+  }
+  return stamp;
+}
+
+void Checkpoint::add(MigratableThread* thread) {
+  MFC_CHECK(thread != nullptr);
+  if (!stamped_) {
+    stamp_ = current_stamp();
+    stamped_ = true;
+  }
+  images_.push_back(thread->pack());
+}
+
+std::vector<MigratableThread*> Checkpoint::restore_all(int dest_pe) {
+  if (stamped_ && stamp_.base != 0) {
+    const RegionStamp now = current_stamp();
+    MFC_CHECK_MSG(now.base == stamp_.base &&
+                      now.slot_bytes == stamp_.slot_bytes &&
+                      now.slots_per_pe == stamp_.slots_per_pe &&
+                      now.npes == stamp_.npes,
+                  "checkpoint restore requires the same isomalloc region "
+                  "geometry and base address (see checkpoint.h)");
+  }
+  std::vector<MigratableThread*> threads;
+  threads.reserve(images_.size());
+  for (ThreadImage& image : images_) {
+    threads.push_back(MigratableThread::unpack(std::move(image), dest_pe));
+  }
+  images_.clear();
+  return threads;
+}
+
+void Checkpoint::pup(pup::Er& p) {
+  p | stamped_ | stamp_ | images_ | user_data_;
+}
+
+void Checkpoint::write_file(const std::string& path) const {
+  auto bytes = pup::to_bytes(*this);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  MFC_CHECK_MSG(f != nullptr, "checkpoint: cannot open file for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  MFC_CHECK_MSG(written == bytes.size(), "checkpoint: short write");
+}
+
+Checkpoint Checkpoint::read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  MFC_CHECK_MSG(f != nullptr, "checkpoint: cannot open file for reading");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<std::size_t>(size));
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  MFC_CHECK_MSG(got == bytes.size(), "checkpoint: short read");
+  Checkpoint ckpt;
+  pup::from_bytes(bytes, ckpt);
+  return ckpt;
+}
+
+}  // namespace mfc::migrate

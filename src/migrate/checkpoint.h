@@ -1,0 +1,70 @@
+// Checkpoint/restart for migratable threads (paper §3):
+//
+//   "Migration techniques can also be used to implement checkpoint/restart
+//    for fault tolerance — under this model, checkpointing is simply
+//    migration to disk or the local memory of a remote processor."
+//
+// A Checkpoint is a container of ThreadImages plus an application-defined
+// PUP-able header; it serializes to a byte buffer or a file. Restoring
+// unpacks every thread at its original (machine-wide-unique) addresses —
+// so a restart is a migration whose "destination processor" is a future
+// run of the program.
+//
+// Requirement inherited from isomalloc: the restoring process must hold the
+// same iso::Region reservation (same base address and geometry). Region
+// geometry is recorded in the checkpoint and verified on restore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "migrate/migratable.h"
+#include "pup/pup.h"
+
+namespace mfc::migrate {
+
+class Checkpoint {
+ public:
+  /// Captures a suspended thread into the checkpoint. Like migration, this
+  /// consumes the thread's local memory: delete the husk afterwards and
+  /// restore() to get it back.
+  void add(MigratableThread* thread);
+
+  /// Application metadata stored alongside the threads (iteration number,
+  /// RNG state, ...).
+  void set_user_data(std::vector<char> bytes) { user_data_ = std::move(bytes); }
+  const std::vector<char>& user_data() const { return user_data_; }
+
+  std::size_t thread_count() const { return images_.size(); }
+
+  /// Rebuilds every thread (in add() order). The caller owns the results
+  /// and typically ready()s them on the appropriate schedulers.
+  std::vector<MigratableThread*> restore_all(int dest_pe = 0);
+
+  /// Byte-level round trip (also usable to ship a whole checkpoint to a
+  /// remote processor's memory).
+  void pup(pup::Er& p);
+
+  /// File-level round trip ("migration to disk").
+  void write_file(const std::string& path) const;
+  static Checkpoint read_file(const std::string& path);
+
+ private:
+  struct RegionStamp {
+    std::uint64_t base = 0;
+    std::uint64_t slot_bytes = 0;
+    std::uint32_t slots_per_pe = 0;
+    std::int32_t npes = 0;
+    void pup(pup::Er& p) { p | base | slot_bytes | slots_per_pe | npes; }
+  };
+
+  static RegionStamp current_stamp();
+
+  RegionStamp stamp_;
+  bool stamped_ = false;
+  std::vector<ThreadImage> images_;
+  std::vector<char> user_data_;
+};
+
+}  // namespace mfc::migrate

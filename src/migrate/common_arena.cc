@@ -1,0 +1,40 @@
+#include "migrate/common_arena.h"
+
+#include <sys/mman.h>
+
+#include "util/check.h"
+
+namespace mfc::migrate {
+
+CommonStackArena& CommonStackArena::instance() {
+  static CommonStackArena arena(kDefaultCapacity);
+  return arena;
+}
+
+CommonStackArena::CommonStackArena(std::size_t capacity) : capacity_(capacity) {
+  base_ = mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+               MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  MFC_CHECK_MSG(base_ != MAP_FAILED, "common stack arena reservation failed");
+}
+
+CommonStackArena::~CommonStackArena() { munmap(base_, capacity_); }
+
+void CommonStackArena::map_fresh(std::size_t bytes) {
+  MFC_CHECK(bytes <= capacity_);
+  void* addr = top() - bytes;
+  void* r = mmap(addr, bytes, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
+  MFC_CHECK_MSG(r == addr, "arena map_fresh failed");
+  fd_extent_ = bytes >= fd_extent_ ? 0 : fd_extent_;
+}
+
+void CommonStackArena::map_fd(int fd, std::size_t bytes) {
+  MFC_CHECK(bytes <= capacity_);
+  void* addr = top() - bytes;
+  void* r = mmap(addr, bytes, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_FIXED, fd, 0);
+  MFC_CHECK_MSG(r == addr, "arena map_fd failed");
+  if (bytes > fd_extent_) fd_extent_ = bytes;
+}
+
+}  // namespace mfc::migrate

@@ -1,0 +1,62 @@
+// The "one address system-wide" execution arena shared by the stack-copy
+// and memory-alias techniques (paper §3.4.1, §3.4.3).
+//
+// A single region of virtual address space is reserved at an address every
+// processor agrees on (in-process PEs share it trivially; the fork transport
+// inherits it). Exactly one thread may execute on the arena at a time — the
+// paper's stated limitation for both techniques — enforced with a mutex held
+// from switch-in to switch-out.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace mfc::migrate {
+
+class CommonStackArena {
+ public:
+  /// Process-wide arena, created on first use. `capacity` is the maximum
+  /// stack size any stack-copy/memory-alias thread may request (fixed once
+  /// created; default 16 MB).
+  static CommonStackArena& instance();
+  static constexpr std::size_t kDefaultCapacity = 16 * 1024 * 1024;
+
+  void* base() const { return base_; }
+  std::size_t capacity() const { return capacity_; }
+  /// Stacks grow downward from the arena top.
+  char* top() const { return static_cast<char*>(base_) + capacity_; }
+
+  /// Serializes arena occupancy ("only one thread active per address
+  /// space"). Locked by on_switch_in, released by on_switch_out.
+  void lock() { mutex_.lock(); }
+  void unlock() { mutex_.unlock(); }
+
+  /// Occupancy bookkeeping (guarded by the lock): which thread's pages are
+  /// currently mapped, and how many bytes of the arena top are backed by a
+  /// memfd instead of anonymous memory. Lets switch-in paths skip remaps
+  /// that are not needed and lets stack-copy threads restore anonymous
+  /// pages before writing over a memory-alias occupant's file pages.
+  const void* occupant() const { return occupant_; }
+  void set_occupant(const void* who) { occupant_ = who; }
+  std::size_t fd_extent() const { return fd_extent_; }
+
+  /// Replaces the arena pages with fresh anonymous memory (stack-copy
+  /// switch-in paths map-over instead of memset; also used by tests).
+  void map_fresh(std::size_t bytes);
+
+  /// Maps `bytes` from `fd` (offset 0) at the arena top — the memory-alias
+  /// switch-in (Figure 3).
+  void map_fd(int fd, std::size_t bytes);
+
+ private:
+  explicit CommonStackArena(std::size_t capacity);
+  ~CommonStackArena();
+
+  void* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::mutex mutex_;
+  const void* occupant_ = nullptr;
+  std::size_t fd_extent_ = 0;
+};
+
+}  // namespace mfc::migrate

@@ -1,0 +1,100 @@
+#include "migrate/iso_thread.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mfc::migrate {
+
+IsoThread::IsoThread(Fn fn, int birth_pe, std::size_t stack_bytes)
+    : MigratableThread(std::move(fn)), birth_pe_(birth_pe) {
+  iso::Region& region = iso::Region::instance();
+  const std::size_t slot_bytes = region.config().slot_bytes;
+  const auto count =
+      static_cast<std::uint32_t>((stack_bytes + slot_bytes - 1) / slot_bytes);
+  stack_slot_ = region.acquire(birth_pe_, count);
+  heap_ = new iso::ThreadHeap(birth_pe_);
+  init_context(region.slot_base(stack_slot_), region.slot_span(stack_slot_));
+}
+
+IsoThread::IsoThread(int dest_pe, const ThreadImage& image)
+    : MigratableThread(Fn{}), birth_pe_(dest_pe), stack_slot_(image.stack_slot) {}
+
+IsoThread::~IsoThread() {
+  if (migrated_away_) return;  // slots now live on the destination
+  delete heap_;
+  iso::Region::instance().release(stack_slot_);
+}
+
+void IsoThread::on_switch_in() { iso::set_current_heap(heap_); }
+void IsoThread::on_switch_out() { iso::set_current_heap(nullptr); }
+
+ThreadImage IsoThread::pack() {
+  MFC_CHECK_MSG(state() == ult::State::kSuspended,
+                "pack() requires a suspended thread");
+  iso::Region& region = iso::Region::instance();
+
+  ThreadImage image;
+  image.technique = Technique::kIsomalloc;
+  image.thread_id = id();
+  image.accumulated_load = accumulated_load();
+  image.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
+  image.stack_slot = stack_slot_;
+  image.heap_slots = heap_->slots();
+
+  // Stack run: only the live portion (from the saved stack pointer up to the
+  // slot top) carries state; the System V ABI guarantees nothing below the
+  // saved sp is live across the swap_context call.
+  {
+    auto* base = static_cast<char*>(region.slot_base(stack_slot_));
+    char* top = base + region.slot_span(stack_slot_);
+    auto* sp = reinterpret_cast<char*>(saved_sp());
+    MFC_CHECK(sp > base && sp <= top);
+    image.slot_data.emplace_back(sp, top);
+  }
+  // Heap runs: whole spans (allocator metadata is distributed through them).
+  for (const iso::SlotId& id : image.heap_slots) {
+    auto* base = static_cast<char*>(region.slot_base(id));
+    image.slot_data.emplace_back(base, base + region.slot_span(id));
+  }
+
+  // Drop the local pages: from now on the image is the only copy.
+  region.evacuate(stack_slot_);
+  for (const iso::SlotId& id : image.heap_slots) region.evacuate(id);
+  heap_->abandon();
+  delete heap_;
+  heap_ = nullptr;
+  migrated_away_ = true;
+  return image;
+}
+
+IsoThread* IsoThread::from_image(ThreadImage image, int dest_pe) {
+  iso::Region& region = iso::Region::instance();
+  auto* t = new IsoThread(dest_pe, image);
+
+  // Re-establish the stack at its original (machine-wide-unique) address.
+  region.install(image.stack_slot);
+  auto* base = static_cast<char*>(region.slot_base(image.stack_slot));
+  char* top = base + region.slot_span(image.stack_slot);
+  const std::vector<char>& stack_run = image.slot_data.at(0);
+  auto* sp = reinterpret_cast<char*>(image.saved_sp);
+  MFC_CHECK_MSG(top - sp == static_cast<std::ptrdiff_t>(stack_run.size()),
+                "corrupt thread image: stack run size mismatch");
+  std::memcpy(sp, stack_run.data(), stack_run.size());
+
+  // Re-establish the heap runs, then reattach the allocator around them.
+  for (std::size_t i = 0; i < image.heap_slots.size(); ++i) {
+    const iso::SlotId& id = image.heap_slots[i];
+    region.install(id);
+    const std::vector<char>& run = image.slot_data.at(1 + i);
+    MFC_CHECK(run.size() == region.slot_span(id));
+    std::memcpy(region.slot_base(id), run.data(), run.size());
+  }
+  t->heap_ = iso::ThreadHeap::reattach(dest_pe, image.heap_slots);
+
+  t->set_saved_sp(sp);
+  t->restore_identity(image.thread_id, image.accumulated_load);
+  return t;
+}
+
+}  // namespace mfc::migrate

@@ -1,0 +1,105 @@
+#include "migrate/memalias_thread.h"
+
+#define _GNU_SOURCE 1
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mfc::migrate {
+
+MemAliasThread::MemAliasThread(Fn fn, std::size_t stack_bytes)
+    : MigratableThread(std::move(fn)), stack_bytes_(stack_bytes) {
+  MFC_CHECK(stack_bytes_ <= CommonStackArena::instance().capacity());
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  stack_bytes_ = (stack_bytes_ + page - 1) & ~(page - 1);
+  create_backing();
+}
+
+MemAliasThread::MemAliasThread(const ThreadImage& image)
+    : MigratableThread(Fn{}),
+      stack_bytes_(image.stack_capacity),
+      started_(true) {
+  create_backing();
+  // Write the shipped stack contents into the backing pages.
+  const std::size_t n = image.stack_bytes.size();
+  MFC_CHECK(n == stack_bytes_);
+  ssize_t w = pwrite(backing_fd_, image.stack_bytes.data(), n, 0);
+  MFC_CHECK(w == static_cast<ssize_t>(n));
+}
+
+void MemAliasThread::create_backing() {
+  backing_fd_ = memfd_create("mfc-memalias-stack", 0);
+  MFC_CHECK_MSG(backing_fd_ >= 0, "memfd_create failed (memory-alias stacks "
+                                  "need Linux >= 3.17; see Table 1)");
+  MFC_CHECK(ftruncate(backing_fd_, static_cast<off_t>(stack_bytes_)) == 0);
+}
+
+MemAliasThread::~MemAliasThread() {
+  // Clear stale occupancy: a later thread allocated at this address must
+  // not be mistaken for us and skip mapping its own pages.
+  CommonStackArena& arena = CommonStackArena::instance();
+  if (arena.occupant() == this) arena.set_occupant(nullptr);
+  if (backing_fd_ >= 0) close(backing_fd_);
+}
+
+void MemAliasThread::on_switch_in() {
+  CommonStackArena& arena = CommonStackArena::instance();
+  arena.lock();
+  // The switch itself: one mmap aliases this thread's pages over the common
+  // stack address. No data is copied — the virtual memory hardware does the
+  // work (Figure 3). When this thread was also the previous occupant, its
+  // pages are still mapped and even the mmap is skipped.
+  if (!started_ || arena.occupant() != this) {
+    arena.map_fd(backing_fd_, stack_bytes_);
+    arena.set_occupant(this);
+  }
+  if (!started_) {
+    init_context(arena.top() - stack_bytes_, stack_bytes_);
+    started_ = true;
+  }
+}
+
+void MemAliasThread::on_switch_out() {
+  // Stack writes went straight to the backing pages (MAP_SHARED); nothing to
+  // copy. The alias stays mapped: the next occupant replaces it (memory-
+  // alias peers map their own fd; stack-copy peers restore anonymous pages
+  // first — see StackCopyThread::on_switch_in).
+  CommonStackArena::instance().unlock();
+}
+
+ThreadImage MemAliasThread::pack() {
+  MFC_CHECK_MSG(state() == ult::State::kSuspended,
+                "pack() requires a suspended thread");
+  CommonStackArena& arena = CommonStackArena::instance();
+  if (arena.occupant() == this) arena.set_occupant(nullptr);
+  ThreadImage image;
+  image.technique = Technique::kMemAlias;
+  image.thread_id = id();
+  image.accumulated_load = accumulated_load();
+  image.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
+  image.stack_capacity = stack_bytes_;
+  image.arena_base = reinterpret_cast<std::uint64_t>(arena.base());
+  image.stack_bytes.resize(stack_bytes_);
+  ssize_t r = pread(backing_fd_, image.stack_bytes.data(), stack_bytes_, 0);
+  MFC_CHECK(r == static_cast<ssize_t>(stack_bytes_));
+  close(backing_fd_);
+  backing_fd_ = -1;
+  return image;
+}
+
+MemAliasThread* MemAliasThread::from_image(ThreadImage image) {
+  CommonStackArena& arena = CommonStackArena::instance();
+  MFC_CHECK_MSG(image.arena_base ==
+                    reinterpret_cast<std::uint64_t>(arena.base()),
+                "memory-alias migration requires the same common stack "
+                "address on both processors");
+  auto* t = new MemAliasThread(image);
+  t->set_saved_sp(reinterpret_cast<void*>(image.saved_sp));
+  t->restore_identity(image.thread_id, image.accumulated_load);
+  return t;
+}
+
+}  // namespace mfc::migrate

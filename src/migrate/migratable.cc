@@ -1,0 +1,32 @@
+#include "migrate/migratable.h"
+
+#include "migrate/iso_thread.h"
+#include "migrate/memalias_thread.h"
+#include "migrate/stackcopy_thread.h"
+#include "util/check.h"
+
+namespace mfc::migrate {
+
+const char* to_string(Technique t) {
+  switch (t) {
+    case Technique::kStackCopy: return "stack-copy";
+    case Technique::kIsomalloc: return "isomalloc";
+    case Technique::kMemAlias: return "memory-alias";
+  }
+  return "?";
+}
+
+MigratableThread* MigratableThread::unpack(ThreadImage image, int dest_pe) {
+  switch (image.technique) {
+    case Technique::kIsomalloc:
+      return IsoThread::from_image(std::move(image), dest_pe);
+    case Technique::kStackCopy:
+      return StackCopyThread::from_image(std::move(image));
+    case Technique::kMemAlias:
+      return MemAliasThread::from_image(std::move(image));
+  }
+  MFC_CHECK_MSG(false, "corrupt thread image: unknown technique");
+  return nullptr;
+}
+
+}  // namespace mfc::migrate

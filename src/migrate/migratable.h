@@ -1,0 +1,72 @@
+// Migratable threads — the paper's §3.4.
+//
+// A MigratableThread can be packed into a ThreadImage while suspended,
+// shipped to another PE (or another address space), and unpacked there to
+// continue from the exact point it suspended. All three techniques share
+// the same approach: "guarantee that the stack will have exactly the same
+// address on the new processor", so no pointer in the stack or heap is ever
+// fixed up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iso/region.h"
+#include "pup/pup.h"
+#include "ult/thread.h"
+
+namespace mfc::migrate {
+
+enum class Technique : std::uint8_t {
+  kStackCopy = 0,  ///< §3.4.1 — one system-wide stack address, copied in/out
+  kIsomalloc = 1,  ///< §3.4.2 — machine-wide-unique stack & heap slots
+  kMemAlias = 2,   ///< §3.4.3 — per-thread pages mmap'ed over a common address
+};
+
+const char* to_string(Technique t);
+
+/// Serialized form of a suspended migratable thread. PUP-able, so it can be
+/// embedded in a converse message or written to disk (checkpointing is
+/// "migration to disk", paper §3).
+struct ThreadImage {
+  Technique technique = Technique::kIsomalloc;
+  std::uint64_t thread_id = 0;
+  double accumulated_load = 0.0;
+  std::uint64_t saved_sp = 0;  ///< virtual address; valid on the destination
+                               ///< because the stack address is preserved
+
+  // Isomalloc payload: slot ids plus each slot run's raw bytes.
+  iso::SlotId stack_slot;
+  std::vector<iso::SlotId> heap_slots;
+  std::vector<std::vector<char>> slot_data;  ///< stack run first, heap runs after
+
+  // Stack-copy / memory-alias payload.
+  std::vector<char> stack_bytes;  ///< live stack contents (top-anchored)
+  std::uint64_t stack_capacity = 0;
+  std::uint64_t arena_base = 0;  ///< common execution address; must match on
+                                 ///< the destination address space
+
+  void pup(pup::Er& p) {
+    p | technique | thread_id | accumulated_load | saved_sp | stack_slot |
+        heap_slots | slot_data | stack_bytes | stack_capacity | arena_base;
+  }
+};
+
+class MigratableThread : public ult::Thread {
+ public:
+  virtual Technique technique() const = 0;
+
+  /// Packs the thread for shipment. Requires state() == kSuspended (a thread
+  /// cannot pack itself while running). Consumes the thread's local memory:
+  /// after pack() the object is a husk that must be deleted, not resumed.
+  virtual ThreadImage pack() = 0;
+
+  /// Rebuilds a thread from an image on the destination. `dest_pe` is the
+  /// arriving PE (used only for bookkeeping; addresses come from the image).
+  static MigratableThread* unpack(ThreadImage image, int dest_pe);
+
+ protected:
+  using ult::Thread::Thread;
+};
+
+}  // namespace mfc::migrate

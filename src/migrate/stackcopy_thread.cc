@@ -1,0 +1,86 @@
+#include "migrate/stackcopy_thread.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mfc::migrate {
+
+StackCopyThread::StackCopyThread(Fn fn, std::size_t stack_bytes)
+    : MigratableThread(std::move(fn)), stack_bytes_(stack_bytes) {
+  MFC_CHECK(stack_bytes_ <= CommonStackArena::instance().capacity());
+}
+
+StackCopyThread::~StackCopyThread() {
+  CommonStackArena& arena = CommonStackArena::instance();
+  if (arena.occupant() == this) arena.set_occupant(nullptr);
+}
+
+StackCopyThread::StackCopyThread(const ThreadImage& image)
+    : MigratableThread(Fn{}),
+      stack_bytes_(image.stack_capacity),
+      started_(true),
+      saved_(image.stack_bytes) {}
+
+void StackCopyThread::on_switch_in() {
+  CommonStackArena& arena = CommonStackArena::instance();
+  arena.lock();  // "only one thread active in each address space"
+  // If a memory-alias thread's file pages are mapped over the arena,
+  // restore anonymous memory before writing (otherwise the memcpy would
+  // scribble on that thread's backing file).
+  if (arena.fd_extent() > 0) {
+    arena.map_fresh(std::max(arena.fd_extent(), stack_bytes_));
+  }
+  arena.set_occupant(this);
+  if (!started_) {
+    // First run: build the bootstrap frame directly at the arena address.
+    init_context(arena.top() - stack_bytes_, stack_bytes_);
+    started_ = true;
+    return;
+  }
+  // Copy the saved live bytes back to the system-wide stack address.
+  std::memcpy(arena.top() - saved_.size(), saved_.data(), saved_.size());
+}
+
+void StackCopyThread::on_switch_out() {
+  CommonStackArena& arena = CommonStackArena::instance();
+  if (state() != ult::State::kDone) {
+    // Everything from the saved stack pointer to the arena top is live.
+    auto* sp = static_cast<char*>(saved_sp());
+    MFC_CHECK(sp > arena.top() - arena.capacity() && sp <= arena.top());
+    saved_.assign(sp, arena.top());
+  } else {
+    saved_.clear();
+  }
+  arena.unlock();
+}
+
+ThreadImage StackCopyThread::pack() {
+  MFC_CHECK_MSG(state() == ult::State::kSuspended,
+                "pack() requires a suspended thread");
+  CommonStackArena& arena = CommonStackArena::instance();
+  ThreadImage image;
+  image.technique = Technique::kStackCopy;
+  image.thread_id = id();
+  image.accumulated_load = accumulated_load();
+  image.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
+  image.stack_bytes = saved_;
+  image.stack_capacity = stack_bytes_;
+  image.arena_base = reinterpret_cast<std::uint64_t>(arena.base());
+  return image;
+}
+
+StackCopyThread* StackCopyThread::from_image(ThreadImage image) {
+  CommonStackArena& arena = CommonStackArena::instance();
+  MFC_CHECK_MSG(image.arena_base ==
+                    reinterpret_cast<std::uint64_t>(arena.base()),
+                "stack-copy migration requires the same system-wide stack "
+                "address on both processors (paper §3.4.1)");
+  auto* t = new StackCopyThread(image);
+  t->set_saved_sp(reinterpret_cast<void*>(image.saved_sp));
+  t->restore_identity(image.thread_id, image.accumulated_load);
+  return t;
+}
+
+}  // namespace mfc::migrate

@@ -1,0 +1,189 @@
+#include "nasmz/btmz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ampi/ampi.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace mfc::nasmz {
+
+namespace {
+
+namespace ampi = mfc::ampi;
+
+enum Dir { kWest = 0, kEast = 1, kSouth = 2, kNorth = 3 };
+
+struct Shared {
+  BtmzConfig cfg;
+  ZoneGrid grid;
+  std::vector<int> zone_owner;
+  BtmzResult result;  // filled by rank 0
+};
+
+Shared* g_btmz = nullptr;
+
+/// Ghost-message tag, unique per (receiving zone, receiving direction).
+int edge_tag(int recv_zone, int recv_dir) { return recv_zone * 4 + recv_dir; }
+
+/// The SSOR-sweep stand-in: deterministic CPU work proportional to points.
+void zone_sweep(std::size_t points, double work_per_point) {
+  volatile double acc = 0;
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(points) * work_per_point);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = acc + static_cast<double>(i & 0xff) * 1.0000001;
+  }
+}
+
+/// Gathers per-rank loads (wall-while-scheduled) and returns {imbalance,
+/// max-PE-load} as rank 0 computed them (broadcast to every rank).
+struct PhaseStats {
+  double imbalance = 0;
+  double max_pe_load = 0;
+};
+
+PhaseStats phase_stats(int nranks, int npes) {
+  double mine = ampi::my_load();
+  std::vector<double> loads(static_cast<std::size_t>(nranks), 0.0);
+  ampi::gather(&mine, 1, ampi::Dtype::kDouble, loads.data(), 0);
+  PhaseStats stats;
+  if (ampi::rank() == 0) {
+    const auto placement = ampi::rank_placement();
+    const auto per_pe = lb::pe_loads(loads, placement, npes);
+    stats.imbalance = lb::mapping_imbalance(loads, placement, npes);
+    stats.max_pe_load = *std::max_element(per_pe.begin(), per_pe.end());
+  }
+  ampi::bcast(&stats, sizeof(PhaseStats), ampi::Dtype::kByte, 0);
+  return stats;
+}
+
+void rank_program() {
+  const BtmzConfig& cfg = g_btmz->cfg;
+  const ZoneGrid& grid = g_btmz->grid;
+  const std::vector<int>& owner = g_btmz->zone_owner;
+  const int me = ampi::rank();
+
+  std::vector<int> my_zones;
+  for (const Zone& z : grid.zones) {
+    if (owner[static_cast<std::size_t>(z.id)] == me) my_zones.push_back(z.id);
+  }
+
+  ampi::barrier();
+  const double t0 = ampi::wtime();
+  PhaseStats phase1{};  // up to the LB point (or empty without LB)
+  int moved = 0;
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    if (cfg.load_balance && iter == cfg.lb_at_iteration) {
+      phase1 = phase_stats(cfg.nranks, cfg.npes);
+      moved = ampi::migrate();  // resets per-rank load counters
+    }
+
+    // Ghost exchange: post receives for every remote edge, send every
+    // remote edge, then wait (the standard deadlock-free pattern).
+    std::vector<ampi::Request> recvs;
+    std::vector<std::vector<double>> inboxes;
+    for (int zid : my_zones) {
+      const Zone& z = grid.zones[static_cast<std::size_t>(zid)];
+      const int nbr[4] = {z.west, z.east, z.south, z.north};
+      const std::size_t strip[4] = {
+          static_cast<std::size_t>(z.ny) * static_cast<std::size_t>(z.nz),
+          static_cast<std::size_t>(z.ny) * static_cast<std::size_t>(z.nz),
+          static_cast<std::size_t>(z.nx) * static_cast<std::size_t>(z.nz),
+          static_cast<std::size_t>(z.nx) * static_cast<std::size_t>(z.nz)};
+      for (int dir = 0; dir < 4; ++dir) {
+        const int n = nbr[dir];
+        if (n < 0 || owner[static_cast<std::size_t>(n)] == me) continue;
+        inboxes.emplace_back(strip[static_cast<std::size_t>(dir)]);
+        recvs.push_back(ampi::irecv(inboxes.back().data(),
+                                    inboxes.back().size(),
+                                    ampi::Dtype::kDouble,
+                                    owner[static_cast<std::size_t>(n)],
+                                    edge_tag(zid, dir)));
+      }
+    }
+    for (int zid : my_zones) {
+      const Zone& z = grid.zones[static_cast<std::size_t>(zid)];
+      // Sending my east face = the neighbor's west ghost, and so on.
+      struct Edge {
+        int nbr, their_dir;
+        std::size_t strip;
+      };
+      const std::size_t ew =
+          static_cast<std::size_t>(z.ny) * static_cast<std::size_t>(z.nz);
+      const std::size_t ns =
+          static_cast<std::size_t>(z.nx) * static_cast<std::size_t>(z.nz);
+      const Edge edges[4] = {{z.west, kEast, ew},
+                             {z.east, kWest, ew},
+                             {z.south, kNorth, ns},
+                             {z.north, kSouth, ns}};
+      for (const Edge& e : edges) {
+        if (e.nbr < 0 || owner[static_cast<std::size_t>(e.nbr)] == me) continue;
+        std::vector<double> strip(e.strip, static_cast<double>(zid) + iter);
+        ampi::send(strip.data(), strip.size(), ampi::Dtype::kDouble,
+                   owner[static_cast<std::size_t>(e.nbr)],
+                   edge_tag(e.nbr, e.their_dir));
+      }
+    }
+    ampi::wait_all(recvs);
+
+    // Compute sweep over every owned zone — the imbalance source.
+    for (int zid : my_zones) {
+      zone_sweep(grid.zones[static_cast<std::size_t>(zid)].points(),
+                 cfg.work_per_point);
+    }
+  }
+
+  ampi::barrier();
+  const double t1 = ampi::wtime();
+  const PhaseStats phase2 = phase_stats(cfg.nranks, cfg.npes);
+
+  if (me == 0) {
+    BtmzResult& r = g_btmz->result;
+    r.total_seconds = t1 - t0;
+    r.modeled_seconds = phase1.max_pe_load + phase2.max_pe_load;
+    r.imbalance_before =
+        cfg.load_balance ? phase1.imbalance : phase2.imbalance;
+    r.imbalance_after = phase2.imbalance;
+    r.ranks_moved = moved;
+  }
+}
+
+}  // namespace
+
+std::string config_name(const BtmzConfig& config) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%c.%d,%dPE", config.zone_class,
+                config.nranks, config.npes);
+  return buf;
+}
+
+BtmzResult run_btmz(const BtmzConfig& config) {
+  Shared shared;
+  shared.cfg = config;
+  if (!shared.cfg.strategy) shared.cfg.strategy = lb::greedy_lb;
+  shared.grid = ZoneGrid::make(config.zone_class);
+  const int nzones = static_cast<int>(shared.grid.zones.size());
+  MFC_CHECK_MSG(config.nranks <= nzones,
+                "BT-MZ requires nranks <= number of zones");
+  shared.zone_owner = assign_zones_blocked(nzones, config.nranks);
+  shared.result.config_name = config_name(config);
+  shared.result.total_points = shared.grid.total_points();
+  shared.result.zone_size_ratio = shared.grid.size_ratio();
+  g_btmz = &shared;
+
+  ampi::Options opt;
+  opt.nranks = config.nranks;
+  opt.npes = config.npes;
+  opt.stack_bytes = config.stack_bytes;
+  opt.lb_strategy = shared.cfg.strategy;
+  ampi::run(opt, rank_program);
+
+  g_btmz = nullptr;
+  return shared.result;
+}
+
+}  // namespace mfc::nasmz

@@ -1,0 +1,121 @@
+#include "nasmz/zones.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mfc::nasmz {
+
+ZoneClassSpec zone_class(char cls) {
+  switch (cls) {
+    // Scaled-down analogs: zone structure matches NPB-MZ (S:2x2, W/A:4x4,
+    // B:8x8); grid sizes shrunk to laptop scale while keeping the class
+    // ordering S < W < A < B.
+    case 'S': return {'S', 2, 2, 24, 24, 6, 10};
+    case 'W': return {'W', 4, 4, 48, 48, 8, 10};
+    case 'A': return {'A', 4, 4, 64, 64, 16, 10};
+    case 'B': return {'B', 8, 8, 96, 80, 16, 10};
+    default: break;
+  }
+  MFC_CHECK_MSG(false, "unknown zone class (use S, W, A, or B)");
+  return {};
+}
+
+namespace {
+
+/// Splits `total` grid points into `parts` spans following a geometric
+/// progression with overall ratio `ratio` (largest/smallest), rounding to
+/// integers that sum exactly to `total`, each at least 2.
+std::vector<int> geometric_spans(int total, int parts, double ratio) {
+  MFC_CHECK(parts >= 1 && total >= 2 * parts);
+  if (parts == 1) return {total};
+  const double r = std::pow(ratio, 1.0 / (parts - 1));
+  std::vector<double> weights(static_cast<std::size_t>(parts));
+  double sum = 0;
+  for (int i = 0; i < parts; ++i) {
+    weights[static_cast<std::size_t>(i)] = std::pow(r, i);
+    sum += weights[static_cast<std::size_t>(i)];
+  }
+  std::vector<int> spans(static_cast<std::size_t>(parts));
+  int used = 0;
+  for (int i = 0; i < parts; ++i) {
+    spans[static_cast<std::size_t>(i)] = std::max(
+        2, static_cast<int>(weights[static_cast<std::size_t>(i)] / sum * total));
+    used += spans[static_cast<std::size_t>(i)];
+  }
+  // Fix rounding drift on the largest span.
+  spans.back() += total - used;
+  MFC_CHECK(spans.back() >= 2);
+  return spans;
+}
+
+}  // namespace
+
+ZoneGrid ZoneGrid::make(char cls, double target_ratio) {
+  ZoneGrid grid;
+  grid.spec = zone_class(cls);
+  const ZoneClassSpec& s = grid.spec;
+  // Split the overall ratio between the two dimensions: sqrt each.
+  const double per_dim = std::sqrt(target_ratio);
+  const auto x_spans = geometric_spans(s.gx, s.x_zones, per_dim);
+  const auto y_spans = geometric_spans(s.gy, s.y_zones, per_dim);
+
+  grid.zones.resize(static_cast<std::size_t>(s.x_zones) *
+                    static_cast<std::size_t>(s.y_zones));
+  for (int yi = 0; yi < s.y_zones; ++yi) {
+    for (int xi = 0; xi < s.x_zones; ++xi) {
+      const int id = yi * s.x_zones + xi;
+      Zone& z = grid.zones[static_cast<std::size_t>(id)];
+      z.id = id;
+      z.xi = xi;
+      z.yi = yi;
+      z.nx = x_spans[static_cast<std::size_t>(xi)];
+      z.ny = y_spans[static_cast<std::size_t>(yi)];
+      z.nz = s.gz;
+      z.west = xi > 0 ? id - 1 : -1;
+      z.east = xi < s.x_zones - 1 ? id + 1 : -1;
+      z.south = yi > 0 ? id - s.x_zones : -1;
+      z.north = yi < s.y_zones - 1 ? id + s.x_zones : -1;
+    }
+  }
+  return grid;
+}
+
+std::size_t ZoneGrid::total_points() const {
+  std::size_t total = 0;
+  for (const Zone& z : zones) total += z.points();
+  return total;
+}
+
+double ZoneGrid::size_ratio() const {
+  std::size_t mn = zones.front().points(), mx = mn;
+  for (const Zone& z : zones) {
+    mn = std::min(mn, z.points());
+    mx = std::max(mx, z.points());
+  }
+  return static_cast<double>(mx) / static_cast<double>(mn);
+}
+
+std::vector<int> assign_zones_blocked(int nzones, int nranks) {
+  MFC_CHECK(nranks >= 1 && nzones >= 1);
+  std::vector<int> assignment(static_cast<std::size_t>(nzones));
+  for (int z = 0; z < nzones; ++z) {
+    assignment[static_cast<std::size_t>(z)] =
+        static_cast<int>(static_cast<long>(z) * nranks / nzones);
+  }
+  return assignment;
+}
+
+std::vector<std::size_t> rank_points(const ZoneGrid& grid,
+                                     const std::vector<int>& assignment,
+                                     int nranks) {
+  std::vector<std::size_t> totals(static_cast<std::size_t>(nranks), 0);
+  for (const Zone& z : grid.zones) {
+    totals[static_cast<std::size_t>(assignment[static_cast<std::size_t>(z.id)])] +=
+        z.points();
+  }
+  return totals;
+}
+
+}  // namespace mfc::nasmz

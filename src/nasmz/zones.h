@@ -1,0 +1,62 @@
+// Multi-zone mesh generator modeled on the NAS Parallel Benchmark
+// "Multi-Zone" suite (paper §4.5, reference [18]).
+//
+// BT-MZ's defining property is its *uneven* zone decomposition: the overall
+// grid is split into x_zones × y_zones zones whose spans follow a geometric
+// progression, with the largest zone roughly 20× the smallest. Assigning
+// contiguous zone blocks to ranks therefore produces the "most dramatic
+// load imbalance" of the suite — the workload the paper uses to demonstrate
+// thread-migration load balancing (Figure 12).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mfc::nasmz {
+
+/// Problem-class table (scaled-down analog of the NPB-MZ classes; same
+/// zone-count structure, laptop-sized grids).
+struct ZoneClassSpec {
+  char name = 'S';
+  int x_zones = 2, y_zones = 2;
+  int gx = 24, gy = 24, gz = 6;  ///< aggregate grid points
+  int iterations = 10;
+};
+
+ZoneClassSpec zone_class(char cls);  ///< 'S', 'W', 'A', or 'B'
+
+struct Zone {
+  int id = -1;
+  int xi = 0, yi = 0;      ///< zone coordinates in the zone grid
+  int nx = 0, ny = 0, nz = 0;  ///< grid points in this zone
+  int west = -1, east = -1, south = -1, north = -1;  ///< neighbor ids, -1 at edges
+
+  std::size_t points() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+};
+
+struct ZoneGrid {
+  ZoneClassSpec spec;
+  std::vector<Zone> zones;
+
+  /// Builds the geometric decomposition: zone spans in x and y follow
+  /// ratio r with max/min point count ≈ target_ratio (BT-MZ uses ~20).
+  static ZoneGrid make(char cls, double target_ratio = 20.0);
+
+  std::size_t total_points() const;
+  double size_ratio() const;  ///< largest/smallest zone point count
+};
+
+/// Contiguous block assignment of zones to ranks (result[zone] = rank).
+/// Because zone sizes are geometric, contiguous blocks concentrate the big
+/// zones on the last ranks — the imbalance source.
+std::vector<int> assign_zones_blocked(int nzones, int nranks);
+
+/// Per-rank point totals implied by an assignment — the a-priori load model.
+std::vector<std::size_t> rank_points(const ZoneGrid& grid,
+                                     const std::vector<int>& assignment,
+                                     int nranks);
+
+}  // namespace mfc::nasmz

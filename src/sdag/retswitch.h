@@ -1,0 +1,50 @@
+// Return-switch functions (paper §2.4.1): the Duff's-device coroutine
+// emulation that predates both threads and real coroutines.
+//
+// A function written in return-switch style "suspends" by recording a resume
+// label and returning; calling it again jumps back to that label. The paper
+// notes this is "confusing, error-prone and tough to debug" — these macros
+// exist to reproduce and benchmark the technique, not to recommend it.
+//
+//   struct Pinger {
+//     mfc::sdag::RetSwitch rs;
+//     int i = 0;
+//     void step() {                    // call repeatedly to drive
+//       MFC_RS_BEGIN(rs);
+//       for (i = 0; i < 3; ++i) {
+//         do_something(i);
+//         MFC_RS_YIELD(rs);            // "suspend"
+//       }
+//       MFC_RS_END(rs);
+//     }
+//   };
+//
+// Restrictions inherent to the technique (and absent with real threads):
+// no local variables may live across a yield (hoist them into the struct),
+// and yields may not appear inside a nested switch.
+#pragma once
+
+namespace mfc::sdag {
+
+struct RetSwitch {
+  int line = 0;
+  bool finished() const { return line == -1; }
+  void reset() { line = 0; }
+};
+
+}  // namespace mfc::sdag
+
+#define MFC_RS_BEGIN(rs) \
+  switch ((rs).line) {   \
+    case 0:
+
+#define MFC_RS_YIELD(rs)  \
+  do {                    \
+    (rs).line = __LINE__; \
+    return;               \
+    case __LINE__:;       \
+  } while (0)
+
+#define MFC_RS_END(rs) \
+  }                    \
+  (rs).line = -1

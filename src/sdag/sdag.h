@@ -1,0 +1,257 @@
+// SDAG-style coordination (paper §2.4.2, Figure 1), built on C++20
+// coroutines.
+//
+// Structured Dagger lets an event-driven object express its life cycle as
+// straight-line code — loops, "when" clauses awaiting tagged messages, and
+// "overlap" blocks that accept messages in any order — which a preprocessor
+// compiles to a finite-state machine. C++20 coroutines are exactly such a
+// compiler-generated FSM, so the constructs map directly:
+//
+//   sdag::Task Stencil::life_cycle() {
+//     for (int i = 0; i < kMaxIter; ++i) {
+//       send_strips_to_neighbors();                      // atomic
+//       auto [left, right] =                             // overlap {
+//           co_await coord.overlap<Msg>(kFromLeft, kFromRight);  //  when/when }
+//       copy_strips(left, right);                        // atomic
+//       do_work();                                       // atomic
+//     }
+//   }
+//
+// The Coordinator is the object's mailbox: Element::on_message feeds it, and
+// it either satisfies a pending `when` or buffers the message until one is
+// issued (messages and whens commute, as in SDAG).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pup/pup.h"
+#include "util/check.h"
+
+namespace mfc::sdag {
+
+/// Coroutine type for object life cycles. Starts eagerly, is resumed by
+/// message delivery, and owns its frame (destroying the Task cancels the
+/// life cycle).
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+class Coordinator;
+
+template <typename T>
+T unpack_payload(const std::vector<char>& payload) {
+  T value{};
+  pup::MemUnpacker u(payload.data(), payload.size());
+  pup::pup(u, value);
+  return value;
+}
+
+/// Awaiter for a single `when (tag)` clause.
+template <typename T>
+class WhenAwaiter {
+ public:
+  WhenAwaiter(Coordinator* coord, int tag) : coord_(coord), tag_(tag) {}
+  bool await_ready();
+  void await_suspend(std::coroutine_handle<> h);
+  T await_resume() {
+    MFC_CHECK(have_);
+    return unpack_payload<T>(payload_);
+  }
+
+ private:
+  Coordinator* coord_;
+  int tag_;
+  std::vector<char> payload_;
+  bool have_ = false;
+};
+
+/// Awaiter for `overlap { when(tag0) ... when(tagK) }` over a homogeneous
+/// message type: completes when one message per tag has arrived, in any
+/// order; yields payloads in tag-argument order.
+template <typename T>
+class OverlapAwaiter {
+ public:
+  OverlapAwaiter(Coordinator* coord, std::vector<int> tags)
+      : coord_(coord), tags_(std::move(tags)) {}
+  bool await_ready();
+  void await_suspend(std::coroutine_handle<> h);
+  std::vector<T> await_resume() {
+    std::vector<T> values;
+    values.reserve(tags_.size());
+    for (const auto& p : payloads_) values.push_back(unpack_payload<T>(p));
+    return values;
+  }
+
+ protected:
+  Coordinator* coord_;
+  std::vector<int> tags_;
+  std::vector<std::vector<char>> payloads_;
+  std::vector<bool> satisfied_;
+  std::size_t remaining_ = 0;
+};
+
+/// Two-tag overlap yielding a pair (the Figure 1 ghost-exchange shape).
+template <typename T>
+class Overlap2Awaiter : public OverlapAwaiter<T> {
+ public:
+  Overlap2Awaiter(Coordinator* coord, int tag_a, int tag_b)
+      : OverlapAwaiter<T>(coord, {tag_a, tag_b}) {}
+  std::pair<T, T> await_resume() {
+    return {unpack_payload<T>(this->payloads_[0]),
+            unpack_payload<T>(this->payloads_[1])};
+  }
+};
+
+/// Per-object mailbox and when-registry.
+class Coordinator {
+ public:
+  /// Feed a tagged message in (typically from Element::on_message). If a
+  /// `when` for this tag is pending, the coroutine resumes immediately
+  /// (possibly running several "atomic" sections before returning);
+  /// otherwise the message is buffered.
+  void deliver(int tag, std::vector<char> payload) {
+    auto wit = waiters_.find(tag);
+    if (wit != waiters_.end() && !wit->second.empty()) {
+      auto callback = std::move(wit->second.front());
+      wit->second.pop_front();
+      callback(std::move(payload));
+      return;
+    }
+    mailbox_[tag].push_back(std::move(payload));
+  }
+
+  std::size_t buffered(int tag) const {
+    auto it = mailbox_.find(tag);
+    return it == mailbox_.end() ? 0 : it->second.size();
+  }
+
+  std::size_t pending_whens() const {
+    std::size_t n = 0;
+    for (const auto& [_, q] : waiters_) n += q.size();
+    return n;
+  }
+
+  template <typename T>
+  WhenAwaiter<T> when(int tag) {
+    return WhenAwaiter<T>(this, tag);
+  }
+
+  /// N-ary overlap. NOTE (GCC 12 workaround): bind the returned awaiter to a
+  /// local variable and co_await the lvalue — `co_await c.overlap<T>({...})`
+  /// trips a GCC 12 frame-materialization bug ("array used as initializer").
+  template <typename T>
+  OverlapAwaiter<T> overlap(std::vector<int> tags) {
+    return OverlapAwaiter<T>(this, std::move(tags));
+  }
+
+  template <typename T>
+  Overlap2Awaiter<T> overlap(int tag_a, int tag_b) {
+    return Overlap2Awaiter<T>(this, tag_a, tag_b);
+  }
+
+ private:
+  template <typename T>
+  friend class WhenAwaiter;
+  template <typename T>
+  friend class OverlapAwaiter;
+
+  bool try_take(int tag, std::vector<char>& out) {
+    auto it = mailbox_.find(tag);
+    if (it == mailbox_.end() || it->second.empty()) return false;
+    out = std::move(it->second.front());
+    it->second.pop_front();
+    return true;
+  }
+
+  using WaiterFn = std::function<void(std::vector<char>&&)>;
+  void add_waiter(int tag, WaiterFn fn) {
+    waiters_[tag].push_back(std::move(fn));
+  }
+
+  std::unordered_map<int, std::deque<std::vector<char>>> mailbox_;
+  std::unordered_map<int, std::deque<WaiterFn>> waiters_;
+};
+
+template <typename T>
+bool WhenAwaiter<T>::await_ready() {
+  if (coord_->try_take(tag_, payload_)) have_ = true;
+  return have_;
+}
+
+template <typename T>
+void WhenAwaiter<T>::await_suspend(std::coroutine_handle<> h) {
+  coord_->add_waiter(tag_, [this, h](std::vector<char>&& bytes) {
+    payload_ = std::move(bytes);
+    have_ = true;
+    h.resume();
+  });
+}
+
+template <typename T>
+bool OverlapAwaiter<T>::await_ready() {
+  payloads_.resize(tags_.size());
+  satisfied_.assign(tags_.size(), false);
+  remaining_ = 0;
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (coord_->try_take(tags_[i], payloads_[i])) {
+      satisfied_[i] = true;
+    } else {
+      ++remaining_;
+    }
+  }
+  return remaining_ == 0;
+}
+
+template <typename T>
+void OverlapAwaiter<T>::await_suspend(std::coroutine_handle<> h) {
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (satisfied_[i]) continue;
+    coord_->add_waiter(tags_[i], [this, i, h](std::vector<char>&& bytes) {
+      payloads_[i] = std::move(bytes);
+      satisfied_[i] = true;
+      if (--remaining_ == 0) h.resume();
+    });
+  }
+}
+
+}  // namespace mfc::sdag

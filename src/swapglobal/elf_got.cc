@@ -1,0 +1,107 @@
+#include "swapglobal/elf_got.h"
+
+#include <dlfcn.h>
+#include <elf.h>
+#include <link.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mfc::swapglobal {
+
+namespace {
+
+/// Full-RELRO objects (the distro default with RTLD_NOW) remap the GOT
+/// read-only once relocation finishes; swapping entries requires making the
+/// containing pages writable again — the price of the transparent scheme.
+void make_slot_writable(void** slot) {
+  const auto page = static_cast<std::uintptr_t>(sysconf(_SC_PAGESIZE));
+  auto addr = reinterpret_cast<std::uintptr_t>(slot) & ~(page - 1);
+  const int rc = mprotect(reinterpret_cast<void*>(addr), page,
+                          PROT_READ | PROT_WRITE);
+  MFC_CHECK_MSG(rc == 0, "mprotect of GOT page failed");
+}
+
+}  // namespace
+
+GotView::GotView(void* dl_handle, std::function<bool(const char*)> filter) {
+  MFC_CHECK(dl_handle != nullptr);
+  link_map* map = nullptr;
+  MFC_CHECK_MSG(dlinfo(dl_handle, RTLD_DI_LINKMAP, &map) == 0,
+                "dlinfo(RTLD_DI_LINKMAP) failed");
+
+  // Walk the object's _DYNAMIC section for the pieces the scan needs.
+  const Elf64_Rela* rela = nullptr;
+  std::size_t rela_bytes = 0;
+  const Elf64_Sym* symtab = nullptr;
+  const char* strtab = nullptr;
+  for (const Elf64_Dyn* dyn = map->l_ld; dyn->d_tag != DT_NULL; ++dyn) {
+    switch (dyn->d_tag) {
+      case DT_RELA:
+        rela = reinterpret_cast<const Elf64_Rela*>(dyn->d_un.d_ptr);
+        break;
+      case DT_RELASZ:
+        rela_bytes = dyn->d_un.d_val;
+        break;
+      case DT_SYMTAB:
+        symtab = reinterpret_cast<const Elf64_Sym*>(dyn->d_un.d_ptr);
+        break;
+      case DT_STRTAB:
+        strtab = reinterpret_cast<const char*>(dyn->d_un.d_ptr);
+        break;
+      default:
+        break;
+    }
+  }
+  if (rela == nullptr || symtab == nullptr || strtab == nullptr) return;
+
+  const std::size_t count = rela_bytes / sizeof(Elf64_Rela);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Elf64_Rela& r = rela[i];
+    if (ELF64_R_TYPE(r.r_info) != R_X86_64_GLOB_DAT) continue;
+    const Elf64_Sym& sym = symtab[ELF64_R_SYM(r.r_info)];
+    if (ELF64_ST_TYPE(sym.st_info) != STT_OBJECT) continue;
+    if (sym.st_size == 0) continue;
+    const char* name = strtab + sym.st_name;
+    if (filter && !filter(name)) continue;
+
+    Var var;
+    var.name = name;
+    var.got_slot =
+        reinterpret_cast<void**>(map->l_addr + r.r_offset);
+    var.original = *var.got_slot;
+    var.size = sym.st_size;
+    if (var.original == nullptr) continue;  // unresolved weak
+    make_slot_writable(var.got_slot);
+    vars_.push_back(std::move(var));
+  }
+}
+
+GotCopies GotView::make_copies() const {
+  GotCopies copies;
+  copies.blocks_.reserve(vars_.size());
+  for (const Var& var : vars_) {
+    std::vector<char> block(var.size);
+    std::memcpy(block.data(), var.original, var.size);
+    copies.blocks_.push_back(std::move(block));
+  }
+  return copies;
+}
+
+void GotView::install(GotCopies& copies) const {
+  MFC_CHECK(copies.count() == vars_.size());
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    *vars_[i].got_slot = copies.storage(i);
+  }
+}
+
+void GotView::restore() const {
+  for (const Var& var : vars_) {
+    *var.got_slot = var.original;
+  }
+}
+
+}  // namespace mfc::swapglobal

@@ -1,0 +1,74 @@
+// Real ELF GOT swapping — the transparent half of the paper's swap-global
+// scheme (§3.1.1):
+//
+//   "A dynamically linked ELF executable always accesses global variables
+//    via the Global Offset Table (GOT), which contains one pointer to each
+//    global variable. To make separate copies of the global variables, we
+//    then simply make separate copies of the GOT — one for each user-level
+//    thread. The thread scheduler then swaps the GOT when switching
+//    threads."
+//
+// GotView scans a dlopen'ed shared object's dynamic relocations for
+// R_X86_64_GLOB_DAT entries (the GOT slots for global *data*), so existing
+// code in that object — compiled with no knowledge of this runtime — can be
+// given per-thread globals: a GotCopies object holds private storage for
+// every variable, and install() redirects the object's GOT at it.
+//
+// Scope note: we swap the data-GOT entries of one shared object (the
+// pattern the paper uses for the user's application code), not of the whole
+// process — redirecting libc's own view of its internals is neither needed
+// nor safe.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mfc::swapglobal {
+
+class GotCopies;
+
+class GotView {
+ public:
+  /// Scans `dl_handle` (from dlopen) for data-symbol GOT slots. `filter`
+  /// selects which symbols to privatize by name (default: all defined
+  /// object symbols of nonzero size).
+  explicit GotView(void* dl_handle,
+                   std::function<bool(const char* name)> filter = {});
+
+  struct Var {
+    std::string name;
+    void** got_slot = nullptr;  ///< the GOT entry inside the scanned object
+    void* original = nullptr;   ///< where the slot pointed at scan time
+    std::size_t size = 0;       ///< symbol size (bytes)
+  };
+
+  const std::vector<Var>& vars() const { return vars_; }
+
+  /// Builds private storage for every scanned variable, initialized from
+  /// the variables' current values.
+  GotCopies make_copies() const;
+
+  /// Points every scanned GOT slot at the copies — the paper's GOT swap.
+  void install(GotCopies& copies) const;
+
+  /// Points every slot back at the original storage.
+  void restore() const;
+
+ private:
+  std::vector<Var> vars_;
+};
+
+/// Per-thread private storage for a GotView's variables.
+class GotCopies {
+ public:
+  void* storage(std::size_t i) { return blocks_[i].data(); }
+  std::size_t count() const { return blocks_.size(); }
+
+ private:
+  friend class GotView;
+  std::vector<std::vector<char>> blocks_;
+};
+
+}  // namespace mfc::swapglobal

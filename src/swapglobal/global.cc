@@ -1,0 +1,76 @@
+#include "swapglobal/global.h"
+
+#include <cstdlib>
+
+namespace mfc::swapglobal {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+std::size_t Registry::add(Entry entry) {
+  MFC_CHECK_MSG(!sealed_, "Global<T> registered after the first GlobalSet "
+                          "was created — declare privatized globals as "
+                          "statics so registration happens at startup");
+  entries_.push_back(entry);
+  return entries_.size() - 1;
+}
+
+namespace {
+thread_local GlobalSet* t_current_set = nullptr;
+}
+
+GlobalSet::GlobalSet() {
+  Registry& reg = Registry::instance();
+  reg.seal();
+  values_.reserve(reg.count());
+  for (std::size_t i = 0; i < reg.count(); ++i) {
+    const Registry::Entry& e = reg.entry(i);
+    void* storage = std::malloc(e.size);
+    MFC_CHECK(storage != nullptr);
+    e.copy_construct(storage, e.prototype);
+    values_.push_back(storage);
+  }
+}
+
+GlobalSet::~GlobalSet() {
+  Registry& reg = Registry::instance();
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    reg.entry(i).destroy(values_[i]);
+    std::free(values_[i]);
+  }
+}
+
+GlobalSet* GlobalSet::current() { return t_current_set; }
+
+void GlobalSet::install(GlobalSet* set) { t_current_set = set; }
+
+void GlobalSet::pup(pup::Er& p) {
+  Registry& reg = Registry::instance();
+  std::size_t n = values_.size();
+  p | n;
+  MFC_CHECK_MSG(n == values_.size(),
+                "GlobalSet::pup: registry shape mismatch between source and "
+                "destination (register the same globals everywhere)");
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    reg.entry(i).pup_value(p, values_[i]);
+  }
+}
+
+namespace {
+void swap_hook(void* ctx, bool switching_in) {
+  GlobalSet::install(switching_in ? static_cast<GlobalSet*>(ctx) : nullptr);
+}
+}  // namespace
+
+void attach(ult::Thread* thread, GlobalSet* set) {
+  MFC_CHECK(thread != nullptr);
+  if (set == nullptr) {
+    thread->set_switch_hook(nullptr, nullptr);
+  } else {
+    thread->set_switch_hook(&swap_hook, set);
+  }
+}
+
+}  // namespace mfc::swapglobal

@@ -1,0 +1,123 @@
+// Global-variable privatization — the portable half of the paper's
+// "swap-global" scheme (§3.1.1).
+//
+// Threads sharing one address space share globals, which breaks migration
+// (and correctness) for code written against process semantics. The paper's
+// fix is to give each user-level thread its own copy of every global and
+// swap them at context-switch time. This header provides the registry-based
+// analog: declare globals as mfc::swapglobal::Global<T>, give each thread a
+// GlobalSet, and attach the set to the thread — the scheduler then swaps
+// the active set at every switch, exactly as the GOT is swapped in the ELF
+// scheme (see elf_got.h for the real-GOT version).
+//
+//   static mfc::swapglobal::Global<int> g_iterations{0};
+//   ...
+//   auto set = std::make_unique<GlobalSet>();
+//   attach(thread, set.get());      // per-thread copies from now on
+//   ...inside the thread: g_iterations.get() = 7;   // private value
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "pup/pup.h"
+#include "ult/thread.h"
+#include "util/check.h"
+
+namespace mfc::swapglobal {
+
+class GlobalSet;
+
+/// Process-wide table of privatized globals. Registration must complete
+/// before the first GlobalSet is created (normally: all Global<T> objects
+/// are statics, so this holds automatically).
+class Registry {
+ public:
+  static Registry& instance();
+
+  struct Entry {
+    std::size_t size = 0;
+    const void* prototype = nullptr;                  // initial value
+    void (*copy_construct)(void* dst, const void* src) = nullptr;
+    void (*destroy)(void* p) = nullptr;
+    void (*pup_value)(pup::Er& p, void* value) = nullptr;
+  };
+
+  std::size_t add(Entry entry);
+  const Entry& entry(std::size_t index) const { return entries_[index]; }
+  std::size_t count() const { return entries_.size(); }
+  bool sealed() const { return sealed_; }
+  void seal() { sealed_ = true; }
+
+ private:
+  std::vector<Entry> entries_;
+  bool sealed_ = false;
+};
+
+/// One thread's private copies of every registered global.
+class GlobalSet {
+ public:
+  GlobalSet();   ///< copies constructed from each global's initial value
+  ~GlobalSet();
+  GlobalSet(const GlobalSet&) = delete;
+  GlobalSet& operator=(const GlobalSet&) = delete;
+
+  /// The kernel thread's active set (swapped by the scheduler hook); null
+  /// outside any privatized-thread context — reads then fall through to the
+  /// shared default value, like malloc falling through to libc.
+  static GlobalSet* current();
+  static void install(GlobalSet* set);
+
+  void* value(std::size_t index) { return values_[index]; }
+
+  /// Ships the private values (migration support). Types must provide a
+  /// pup-able representation; trivially copyable types work automatically.
+  void pup(pup::Er& p);
+
+ private:
+  std::vector<void*> values_;
+};
+
+/// A privatized global variable of type T.
+template <typename T>
+class Global {
+ public:
+  explicit Global(T initial = T{}) : default_value_(std::move(initial)) {
+    Registry::Entry entry;
+    entry.size = sizeof(T);
+    entry.prototype = &default_value_;
+    entry.copy_construct = [](void* dst, const void* src) {
+      new (dst) T(*static_cast<const T*>(src));
+    };
+    entry.destroy = [](void* p) { static_cast<T*>(p)->~T(); };
+    entry.pup_value = [](pup::Er& p, void* value) {
+      pup::pup(p, *static_cast<T*>(value));
+    };
+    index_ = Registry::instance().add(entry);
+  }
+
+  /// The current thread's private copy, or the shared default when no set
+  /// is installed.
+  T& get() {
+    if (GlobalSet* set = GlobalSet::current()) {
+      return *static_cast<T*>(set->value(index_));
+    }
+    return default_value_;
+  }
+
+  T& operator*() { return get(); }
+  T* operator->() { return &get(); }
+
+ private:
+  T default_value_;
+  std::size_t index_;
+};
+
+/// Attaches a GlobalSet to a user-level thread: the scheduler installs it
+/// on switch-in and clears it on switch-out (the "swap" of swap-global).
+/// The set must outlive the thread's execution; pass nullptr to detach.
+void attach(ult::Thread* thread, GlobalSet* set);
+
+}  // namespace mfc::swapglobal

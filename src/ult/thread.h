@@ -1,0 +1,117 @@
+// User-level threads (paper §2.3) — the "Cth"-style flow of control.
+//
+// A Thread owns a stack and a saved Context; a Scheduler (one per kernel
+// thread / PE) multiplexes ready threads over the kernel thread. Subclasses
+// supply the stack-management policy: plain malloc'ed stacks here, and the
+// three migratable policies (stack-copy / isomalloc / memory-alias) in
+// src/migrate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arch/context.h"
+
+namespace mfc::ult {
+
+class Scheduler;
+
+enum class State : std::uint8_t {
+  kCreated,    ///< not yet enqueued
+  kReady,      ///< in a scheduler's ready queue
+  kRunning,    ///< currently executing
+  kSuspended,  ///< blocked; waiting for resume()
+  kDone,       ///< entry function finished
+};
+
+const char* to_string(State s);
+
+class Thread {
+ public:
+  using Fn = std::function<void()>;
+
+  virtual ~Thread() = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  State state() const { return state_; }
+  std::uint64_t id() const { return id_; }
+
+  /// When set, the scheduler deletes the thread after its entry function
+  /// finishes (detached semantics). Default: the creator owns the Thread.
+  void set_delete_on_exit(bool v) { delete_on_exit_ = v; }
+  bool delete_on_exit() const { return delete_on_exit_; }
+
+  /// Wall-clock seconds this thread has been scheduled in — the load
+  /// metric the balancing framework consumes (the paper's measurement).
+  /// Slice timing uses the monotonic clock (~20 ns/read); the per-thread
+  /// CPU clock is three orders of magnitude more expensive to read on
+  /// virtualized hosts and 10 ms-granular, so it is deliberately not used.
+  double accumulated_load() const { return accumulated_load_; }
+  void reset_load() { accumulated_load_ = 0.0; }
+
+  /// Stack-policy hooks, invoked from the scheduler's own (main) context so
+  /// policies may stage memory that the thread itself will execute on.
+  virtual void on_switch_in() {}
+  virtual void on_switch_out() {}
+
+  /// Optional user hook run at every switch (after on_switch_in /
+  /// before on_switch_out). Used by e.g. swap-global privatization to
+  /// install the thread's set of global variables.
+  using SwitchHook = void (*)(void* ctx, bool switching_in);
+  void set_switch_hook(SwitchHook hook, void* ctx) {
+    switch_hook_ = hook;
+    switch_hook_ctx_ = ctx;
+  }
+
+ protected:
+  explicit Thread(Fn fn);
+
+  /// Builds the initial context on `stack`. Subclass constructors call this
+  /// once their stack storage exists.
+  void init_context(void* stack, std::size_t bytes);
+
+  /// Entry shim: runs fn_, then exits through the scheduler. `self` is the
+  /// Thread*.
+  static void trampoline(void* self);
+
+  /// Saved stack pointer access for migration (pack records it; unpack
+  /// restores it so the rebuilt thread resumes mid-stack).
+  void* saved_sp() const { return ctx_.sp; }
+  void set_saved_sp(void* sp) { ctx_.sp = sp; }
+
+  /// Restores bookkeeping on an unpacked thread.
+  void restore_identity(std::uint64_t id, double load) {
+    id_ = id;
+    accumulated_load_ = load;
+  }
+
+ private:
+  friend class Scheduler;
+
+  arch::Context ctx_;
+  Fn fn_;
+  State state_ = State::kCreated;
+  std::uint64_t id_;
+  bool delete_on_exit_ = false;
+  double accumulated_load_ = 0.0;
+  double slice_start_ = 0.0;
+  SwitchHook switch_hook_ = nullptr;
+  void* switch_hook_ctx_ = nullptr;
+};
+
+/// Non-migratable user-level thread on a heap-allocated stack — the baseline
+/// "Cth" flow of control measured in Figures 4–8.
+class StandardThread final : public Thread {
+ public:
+  explicit StandardThread(Fn fn, std::size_t stack_bytes = kDefaultStackBytes);
+
+  static constexpr std::size_t kDefaultStackBytes = 64 * 1024;
+
+ private:
+  std::unique_ptr<char[]> stack_;
+};
+
+}  // namespace mfc::ult

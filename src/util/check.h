@@ -1,0 +1,38 @@
+// Lightweight invariant checking for the mfc runtime.
+//
+// MFC_CHECK is always on (runtime invariants whose failure means memory
+// corruption or a broken migration protocol — we never want to continue).
+// MFC_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfc::detail {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "mfc: check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace mfc::detail
+
+#define MFC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::mfc::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MFC_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::mfc::detail::check_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MFC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define MFC_DCHECK(expr) MFC_CHECK(expr)
+#endif

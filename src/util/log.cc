@@ -1,0 +1,56 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace mfc {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+std::mutex g_io_mutex;
+
+void init_from_env() {
+  const char* env = std::getenv("MFC_LOG");
+  if (!env) return;
+  if (!std::strcmp(env, "debug")) g_level = static_cast<int>(LogLevel::kDebug);
+  else if (!std::strcmp(env, "info")) g_level = static_cast<int>(LogLevel::kInfo);
+  else if (!std::strcmp(env, "warn")) g_level = static_cast<int>(LogLevel::kWarn);
+  else if (!std::strcmp(env, "error")) g_level = static_cast<int>(LogLevel::kError);
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[mfc %s] ", level_name(level));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace mfc

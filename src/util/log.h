@@ -1,0 +1,22 @@
+// Minimal leveled logger. The runtime is silent by default (level = warn);
+// set MFC_LOG=debug|info|warn|error or call set_log_level() to change.
+#pragma once
+
+#include <cstdarg>
+
+namespace mfc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define MFC_LOG_DEBUG(...) ::mfc::logf(::mfc::LogLevel::kDebug, __VA_ARGS__)
+#define MFC_LOG_INFO(...) ::mfc::logf(::mfc::LogLevel::kInfo, __VA_ARGS__)
+#define MFC_LOG_WARN(...) ::mfc::logf(::mfc::LogLevel::kWarn, __VA_ARGS__)
+#define MFC_LOG_ERROR(...) ::mfc::logf(::mfc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace mfc

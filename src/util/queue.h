@@ -1,0 +1,77 @@
+// Inter-PE message queues for the converse machine layer.
+//
+// MpscQueue: multiple-producer single-consumer blocking queue. Producers are
+// remote PEs (kernel threads) delivering messages; the consumer is the owning
+// PE's scheduler loop. A mutex + condition variable implementation is used:
+// at the message rates the runtime sees (scheduling quanta, not per-word
+// traffic) lock cost is negligible, and correctness is easy to audit.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mfc {
+
+template <typename T>
+class MpscQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop; empty optional when the queue is empty.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocking pop; waits until an item arrives or wake() is called.
+  /// Returns empty optional only on a spurious wake() with no data.
+  std::optional<T> pop_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || woken_; });
+    woken_ = false;
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Wakes a blocked pop_wait() without delivering data (used for shutdown
+  /// and for "work became available locally" notifications).
+  void wake() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      woken_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool woken_ = false;
+};
+
+}  // namespace mfc

@@ -1,0 +1,55 @@
+// Streaming and batch statistics for benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mfc {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  void clear();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch statistics over a sample vector (sorts a copy for percentiles).
+class Sample {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double median() const { return percentile(50.0); }
+  double percentile(double p) const;  ///< p in [0,100], linear interpolation
+  double min() const;
+  double max() const;
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Imbalance metric used by the load-balancing experiments:
+/// max/mean of per-processor load (1.0 == perfectly balanced).
+double imbalance_ratio(const std::vector<double>& per_pe_load);
+
+/// Formats a nanosecond quantity with an adaptive unit (ns/us/ms/s).
+std::string format_ns(double ns);
+
+}  // namespace mfc

@@ -1,0 +1,19 @@
+#include "util/timer.h"
+
+#include <ctime>
+
+namespace mfc {
+
+namespace {
+double clock_seconds(clockid_t id) {
+  timespec ts;
+  clock_gettime(id, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+}  // namespace
+
+double wall_time() { return clock_seconds(CLOCK_MONOTONIC); }
+double thread_cpu_time() { return clock_seconds(CLOCK_THREAD_CPUTIME_ID); }
+double process_cpu_time() { return clock_seconds(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace mfc

@@ -1,0 +1,42 @@
+// Wall-clock and cycle timers used throughout the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mfc {
+
+/// Monotonic wall-clock time in seconds since an arbitrary epoch.
+double wall_time();
+
+/// Per-thread CPU time in seconds (CLOCK_THREAD_CPUTIME_ID).
+double thread_cpu_time();
+
+/// Whole-process CPU time in seconds (CLOCK_PROCESS_CPUTIME_ID).
+double process_cpu_time();
+
+/// Raw TSC read. Only meaningful for deltas on the same core; use
+/// wall_time() for anything cross-thread.
+inline std::uint64_t rdtsc() {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Simple scoped stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(wall_time()) {}
+  void reset() { start_ = wall_time(); }
+  double elapsed() const { return wall_time() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace mfc

@@ -1,0 +1,141 @@
+// Tests for the minimal context-switch layer (paper Figure 10).
+#include "arch/context.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace {
+
+using mfc::arch::Context;
+using mfc::arch::make_context;
+using mfc::arch::swap_context;
+
+struct PingPong {
+  Context main_ctx, a, b;
+  int trace = 0;
+};
+
+TEST(Arch, EntersFunctionWithArgument) {
+  static Context main_ctx, t;
+  static void* seen_arg = nullptr;
+  std::vector<char> stack(16 * 1024);
+  int marker = 42;
+  t = make_context(stack.data(), stack.size(),
+                   [](void* arg) {
+                     seen_arg = arg;
+                     swap_context(&t, &main_ctx);
+                   },
+                   &marker);
+  swap_context(&main_ctx, &t);
+  EXPECT_EQ(seen_arg, &marker);
+  EXPECT_EQ(*static_cast<int*>(seen_arg), 42);
+}
+
+TEST(Arch, PingPongPreservesCalleeSavedState) {
+  static PingPong pp;
+  pp = PingPong{};
+  std::vector<char> sa(32 * 1024), sb(32 * 1024);
+  pp.a = make_context(sa.data(), sa.size(),
+                      [](void* p) {
+                        auto* s = static_cast<PingPong*>(p);
+                        // Local state must survive round trips: live
+                        // variables land in callee-saved registers or on the
+                        // stack, both preserved by the swap.
+                        int local = 7;
+                        for (int i = 0; i < 100; ++i) {
+                          s->trace += local;
+                          swap_context(&s->a, &s->b);
+                          local = 7;  // re-establish; also verify trace below
+                        }
+                        swap_context(&s->a, &s->main_ctx);
+                      },
+                      &pp);
+  pp.b = make_context(sb.data(), sb.size(),
+                      [](void* p) {
+                        auto* s = static_cast<PingPong*>(p);
+                        for (;;) {
+                          s->trace += 1000;
+                          swap_context(&s->b, &s->a);
+                        }
+                      },
+                      &pp);
+  swap_context(&pp.main_ctx, &pp.a);
+  EXPECT_EQ(pp.trace, 100 * 7 + 100 * 1000);
+}
+
+TEST(Arch, DeepStackUse) {
+  static Context main_ctx, t;
+  static long result = 0;
+  std::vector<char> stack(512 * 1024);
+  t = make_context(stack.data(), stack.size(),
+                   [](void*) {
+                     // Consume real stack depth with a recursive sum.
+                     struct R {
+                       static long sum(int n) {
+                         volatile char pad[128];
+                         pad[0] = static_cast<char>(n);
+                         (void)pad;
+                         return n == 0 ? 0 : n + sum(n - 1);
+                       }
+                     };
+                     result = R::sum(1000);
+                     swap_context(&t, &main_ctx);
+                   },
+                   nullptr);
+  swap_context(&main_ctx, &t);
+  EXPECT_EQ(result, 1000L * 1001 / 2);
+}
+
+TEST(Arch, ManyContextsInterleaved) {
+  constexpr int kThreads = 64;
+  static Context main_ctx;
+  static Context ctxs[kThreads];
+  static int counters[kThreads];
+  std::memset(counters, 0, sizeof counters);
+  std::vector<std::vector<char>> stacks(kThreads,
+                                        std::vector<char>(16 * 1024));
+  for (int i = 0; i < kThreads; ++i) {
+    ctxs[i] = make_context(
+        stacks[static_cast<std::size_t>(i)].data(), 16 * 1024,
+        [](void* p) {
+          const int me = static_cast<int>(reinterpret_cast<intptr_t>(p));
+          for (;;) {
+            ++counters[me];
+            swap_context(&ctxs[me], &main_ctx);
+          }
+        },
+        reinterpret_cast<void*>(static_cast<intptr_t>(i)));
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < kThreads; ++i) swap_context(&main_ctx, &ctxs[i]);
+  }
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(counters[i], 3) << i;
+}
+
+TEST(Arch, StackAlignmentSupportsVectorCode) {
+  // SSE/AVX spills require 16-byte alignment; misalignment faults.
+  static Context main_ctx, t;
+  static double out = 0;
+  std::vector<char> stack(64 * 1024);
+  t = make_context(stack.data(), stack.size() - 8,  // odd size on purpose
+                   [](void*) {
+                     alignas(16) double v[4] = {1.5, 2.5, 3.5, 4.5};
+                     double acc = 0;
+                     for (double d : v) acc += d * d;
+                     out = acc;
+                     swap_context(&t, &main_ctx);
+                   },
+                   nullptr);
+  swap_context(&main_ctx, &t);
+  EXPECT_DOUBLE_EQ(out, 1.5 * 1.5 + 2.5 * 2.5 + 3.5 * 3.5 + 4.5 * 4.5);
+}
+
+TEST(ArchDeath, MinimumStackEnforced) {
+  std::vector<char> tiny(64);
+  EXPECT_DEATH(make_context(tiny.data(), tiny.size(), [](void*) {}, nullptr),
+               "stack too small");
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// BigSim-analog simulator tests (paper §4.4).
+#include "bigsim/bigsim.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using mfc::bigsim::Result;
+using mfc::bigsim::simulate;
+using mfc::bigsim::TargetConfig;
+
+TargetConfig small_config() {
+  TargetConfig cfg;
+  cfg.grid_x = 4;
+  cfg.grid_y = 4;
+  cfg.grid_z = 2;
+  cfg.steps = 3;
+  cfg.atoms_per_proc = 32;
+  return cfg;
+}
+
+TEST(BigSim, RunsToCompletionAndCountsMessages) {
+  const TargetConfig cfg = small_config();
+  Result r = simulate(cfg, 2);
+  EXPECT_EQ(r.target_procs, 32);
+  EXPECT_EQ(r.host_pes, 2);
+  // Every target proc sends 6 ghosts per step.
+  EXPECT_EQ(r.messages, 32ull * 6 * 3);
+  EXPECT_GT(r.wall_per_step, 0.0);
+}
+
+TEST(BigSim, PredictedTimeFollowsTheModel) {
+  TargetConfig cfg = small_config();
+  Result r = simulate(cfg, 1);
+  const double compute =
+      cfg.atoms_per_proc * cfg.flops_per_atom / cfg.target_flop_rate;
+  const double net = cfg.link_latency_us * 1e-6 +
+                     cfg.bytes_per_ghost / (cfg.link_bandwidth_gbs * 1e9);
+  EXPECT_NEAR(r.predicted_step_time, compute + net, 1e-12);
+}
+
+TEST(BigSim, PredictionIndependentOfHostPes) {
+  // The whole point of the simulator: the *predicted* target time must not
+  // depend on how many host processors run the simulation.
+  TargetConfig cfg = small_config();
+  Result r1 = simulate(cfg, 1);
+  Result r2 = simulate(cfg, 2);
+  Result r4 = simulate(cfg, 4);
+  EXPECT_DOUBLE_EQ(r1.predicted_step_time, r2.predicted_step_time);
+  EXPECT_DOUBLE_EQ(r1.predicted_step_time, r4.predicted_step_time);
+}
+
+TEST(BigSim, ManyMoreTargetsThanHostPes) {
+  // Thousands of flows per host processor (the paper ran 50,000): here 2048
+  // target threads over 2 PEs.
+  TargetConfig cfg;
+  cfg.grid_x = 16;
+  cfg.grid_y = 16;
+  cfg.grid_z = 8;
+  cfg.steps = 2;
+  cfg.atoms_per_proc = 8;
+  Result r = simulate(cfg, 2);
+  EXPECT_EQ(r.target_procs, 2048);
+  EXPECT_EQ(r.messages, 2048ull * 6 * 2);
+}
+
+TEST(BigSim, NonPowerOfTwoGrid) {
+  TargetConfig cfg;
+  cfg.grid_x = 3;
+  cfg.grid_y = 5;
+  cfg.grid_z = 2;
+  cfg.steps = 2;
+  cfg.atoms_per_proc = 8;
+  Result r = simulate(cfg, 3);
+  EXPECT_EQ(r.target_procs, 30);
+  EXPECT_EQ(r.messages, 30ull * 6 * 2);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Load-balancing strategy tests (paper §3, §4.5).
+#include "lb/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace mfc::lb;
+
+Mapping round_robin(std::size_t n, int npes) {
+  Mapping m(n);
+  for (std::size_t i = 0; i < n; ++i) m[i] = static_cast<int>(i) % npes;
+  return m;
+}
+
+TEST(Lb, NullKeepsPlacement) {
+  std::vector<double> loads = {5, 1, 1, 1};
+  Mapping cur = round_robin(4, 2);
+  EXPECT_EQ(null_lb(loads, cur, 2), cur);
+}
+
+TEST(Lb, GreedyBalancesSkewedLoad) {
+  // One heavy object per 4, round-robin start: imbalance 4/...; greedy must
+  // spread heavies across PEs.
+  std::vector<double> loads;
+  Mapping cur;
+  for (int i = 0; i < 16; ++i) {
+    loads.push_back(i % 4 == 0 ? 10.0 : 1.0);
+    cur.push_back(i % 4 == 0 ? 0 : i % 4);  // all heavies start on PE 0
+  }
+  const double before = mapping_imbalance(loads, cur, 4);
+  Mapping after = greedy_lb(loads, cur, 4);
+  const double now = mapping_imbalance(loads, after, 4);
+  EXPECT_GT(before, 2.0);
+  EXPECT_LT(now, 1.1);
+}
+
+TEST(Lb, GreedyIsNearOptimalOnUniformLoads) {
+  std::vector<double> loads(32, 1.0);
+  Mapping cur = round_robin(32, 4);
+  Mapping after = greedy_lb(loads, cur, 4);
+  EXPECT_DOUBLE_EQ(mapping_imbalance(loads, after, 4), 1.0);
+}
+
+TEST(Lb, RefineMovesFewObjects) {
+  // 15 equal objects + 1 heavy on PE0: refine should fix PE0 by moving a
+  // small number of objects, not reshuffle everything.
+  std::vector<double> loads(16, 1.0);
+  loads[0] = 6.0;
+  Mapping cur(16, 0);
+  for (int i = 0; i < 16; ++i) cur[static_cast<std::size_t>(i)] = i % 4;
+  const double before = mapping_imbalance(loads, cur, 4);
+  Mapping after = refine_lb(loads, cur, 4);
+  const double now = mapping_imbalance(loads, after, 4);
+  EXPECT_LT(now, before);
+  EXPECT_LE(migration_count(cur, after), 6);
+}
+
+TEST(Lb, RotateShiftsEveryObject) {
+  std::vector<double> loads(8, 1.0);
+  Mapping cur = round_robin(8, 4);
+  Mapping after = rotate_lb(loads, cur, 4);
+  EXPECT_EQ(migration_count(cur, after), 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(after[i], (cur[i] + 1) % 4);
+  }
+}
+
+TEST(Lb, RandomIsDeterministicPerSeed) {
+  std::vector<double> loads(100, 1.0);
+  Mapping cur = round_robin(100, 8);
+  EXPECT_EQ(random_lb(loads, cur, 8, 42), random_lb(loads, cur, 8, 42));
+  EXPECT_NE(random_lb(loads, cur, 8, 42), random_lb(loads, cur, 8, 43));
+}
+
+TEST(Lb, PeLoadsConserveTotal) {
+  mfc::SplitMix64 rng(3);
+  std::vector<double> loads;
+  for (int i = 0; i < 50; ++i) loads.push_back(rng.next_in(0.1, 10.0));
+  Mapping cur = round_robin(50, 6);
+  for (auto strat : {std::string("greedy"), std::string("refine"),
+                     std::string("random"), std::string("rotate")}) {
+    Mapping after = strategy_by_name(strat)(loads, cur, 6);
+    const auto pls = pe_loads(loads, after, 6);
+    const double total = std::accumulate(pls.begin(), pls.end(), 0.0);
+    const double expect = std::accumulate(loads.begin(), loads.end(), 0.0);
+    EXPECT_NEAR(total, expect, 1e-9) << strat;
+  }
+}
+
+TEST(Lb, StrategyByNameUnknownAborts) {
+  EXPECT_DEATH(strategy_by_name("bogus"), "unknown LB strategy");
+}
+
+// Property sweep: greedy never yields a worse max PE load than the input
+// placement, across random instances.
+class GreedyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyProperty, NeverWorseThanInput) {
+  mfc::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  const int npes = 2 + static_cast<int>(rng.next_below(7));
+  const std::size_t n = 4 + rng.next_below(60);
+  std::vector<double> loads;
+  Mapping cur;
+  for (std::size_t i = 0; i < n; ++i) {
+    loads.push_back(rng.next_in(0.01, 5.0));
+    cur.push_back(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(npes))));
+  }
+  const auto before = pe_loads(loads, cur, npes);
+  const auto after = pe_loads(loads, greedy_lb(loads, cur, npes), npes);
+  const double max_before = *std::max_element(before.begin(), before.end());
+  const double max_after = *std::max_element(after.begin(), after.end());
+  // LPT greedy is not guaranteed to beat an arbitrary starting placement
+  // (it can be up to 4/3 of optimal while the start happens to be optimal),
+  // so the sound cross-check is against the start scaled by that factor...
+  EXPECT_LE(max_after, max_before * 4.0 / 3.0 + 1e-9);
+  // ...and the theoretical LPT bound proper: <= (4/3) OPT, with OPT >=
+  // max(total/npes, max single load).
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  const double opt_lb = std::max(total / npes,
+                                 *std::max_element(loads.begin(), loads.end()));
+  EXPECT_LE(max_after, 4.0 / 3.0 * opt_lb + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyProperty, ::testing::Range(1, 26));
+
+// Refine property: never increases imbalance.
+class RefineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefineProperty, NeverIncreasesImbalance) {
+  mfc::SplitMix64 rng(static_cast<std::uint64_t>(GetParam() + 1000));
+  const int npes = 2 + static_cast<int>(rng.next_below(6));
+  const std::size_t n = static_cast<std::size_t>(npes) * (2 + rng.next_below(10));
+  std::vector<double> loads;
+  Mapping cur;
+  for (std::size_t i = 0; i < n; ++i) {
+    loads.push_back(rng.next_in(0.01, 3.0));
+    cur.push_back(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(npes))));
+  }
+  const double before = mapping_imbalance(loads, cur, npes);
+  const double after = mapping_imbalance(loads, refine_lb(loads, cur, npes), npes);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineProperty, ::testing::Range(1, 26));
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Property/fuzz tests for migratable threads: random techniques, stack
+// depths, yield schedules, and pack points — the invariant is always the
+// same: a thread's observable state is identical whether or not it was
+// packed, serialized, and resumed in between.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "migrate/iso_thread.h"
+#include "migrate/memalias_thread.h"
+#include "migrate/migratable.h"
+#include "migrate/stackcopy_thread.h"
+#include "pup/pup.h"
+#include "ult/scheduler.h"
+#include "util/rng.h"
+
+namespace {
+
+using mfc::migrate::IsoThread;
+using mfc::migrate::MemAliasThread;
+using mfc::migrate::MigratableThread;
+using mfc::migrate::StackCopyThread;
+using mfc::ult::Scheduler;
+using mfc::ult::State;
+
+class MigrateFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    mfc::iso::Region::Config cfg;
+    cfg.npes = 2;
+    cfg.slot_bytes = 64 * 1024;
+    cfg.slots_per_pe = 1024;
+    mfc::iso::Region::init(cfg);
+  }
+  void TearDown() override { mfc::iso::Region::shutdown(); }
+};
+
+/// The workload: recurse to a random depth (building stack state with
+/// self-referential pointers at every level), checksum on the way down,
+/// suspend a random number of times at the bottom, verify on the way up.
+struct Workload {
+  Scheduler* sched;
+  int depth;
+  int suspends;
+  std::uint64_t expected;
+  std::uint64_t computed = 0;
+  bool finished = false;
+  bool verified = true;
+
+  static std::uint64_t mix(std::uint64_t h, int level) {
+    return h * 1099511628211ULL + static_cast<std::uint64_t>(level) + 1;
+  }
+
+  void recurse(int level, std::uint64_t hash) {
+    long frame_mark = 0xF00D + level;
+    long* self = &frame_mark;
+    hash = mix(hash, level);
+    if (level < depth) {
+      recurse(level + 1, hash);
+    } else {
+      computed = hash;
+      for (int s = 0; s < suspends; ++s) sched->suspend();  // pack points
+    }
+    // Unwinding after resumption: every frame's local state must be intact.
+    verified = verified && (*self == 0xF00D + level) && (self == &frame_mark);
+  }
+
+  void run() {
+    recurse(0, 14695981039346656037ULL);
+    finished = true;
+  }
+};
+
+MigratableThread* make_thread(int technique, std::function<void()> fn,
+                              std::size_t stack_bytes) {
+  switch (technique) {
+    case 0: return new IsoThread(std::move(fn), 0, stack_bytes);
+    case 1: return new StackCopyThread(std::move(fn), stack_bytes);
+    default: return new MemAliasThread(std::move(fn), stack_bytes);
+  }
+}
+
+TEST_P(MigrateFuzz, RandomDepthsAndPackPoints) {
+  mfc::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int round = 0; round < 6; ++round) {
+    Scheduler sched;
+    const int technique = static_cast<int>(rng.next_below(3));
+    const int depth = 1 + static_cast<int>(rng.next_below(120));
+    const int suspends = 1 + static_cast<int>(rng.next_below(4));
+
+    Workload w;
+    w.sched = &sched;
+    w.depth = depth;
+    w.suspends = suspends;
+    // Reference hash, computed without any threading.
+    std::uint64_t h = 14695981039346656037ULL;
+    for (int level = 0; level <= depth; ++level) h = Workload::mix(h, level);
+    w.expected = h;
+
+    MigratableThread* t =
+        make_thread(technique, [&w] { w.run(); }, 192 * 1024);
+    sched.ready(t);
+    sched.run_until_idle();
+
+    // Pack/serialize/unpack at a random subset of the suspend points.
+    for (int s = 0; s < suspends; ++s) {
+      ASSERT_EQ(t->state(), State::kSuspended);
+      if (rng.next_below(2) == 0) {
+        auto image = t->pack();
+        auto wire = mfc::pup::to_bytes(image);
+        delete t;
+        mfc::migrate::ThreadImage arrived;
+        mfc::pup::from_bytes(wire, arrived);
+        t = MigratableThread::unpack(std::move(arrived),
+                                     static_cast<int>(rng.next_below(2)));
+      }
+      sched.ready(t);
+      sched.run_until_idle();
+    }
+
+    EXPECT_TRUE(w.finished) << "technique=" << technique << " depth=" << depth;
+    EXPECT_TRUE(w.verified) << "frame state corrupted after migration";
+    EXPECT_EQ(w.computed, w.expected);
+    EXPECT_EQ(t->state(), State::kDone);
+    delete t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrateFuzz, ::testing::Range(1, 13));
+
+// Interleaving fuzz: several migratable threads of mixed techniques yield
+// in random schedules; every thread's private counter must stay private.
+class InterleaveFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    mfc::iso::Region::Config cfg;
+    cfg.npes = 1;
+    cfg.slot_bytes = 64 * 1024;
+    cfg.slots_per_pe = 1024;
+    mfc::iso::Region::init(cfg);
+  }
+  void TearDown() override { mfc::iso::Region::shutdown(); }
+};
+
+TEST_P(InterleaveFuzz, MixedTechniquesKeepPrivateState) {
+  mfc::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  Scheduler sched;
+  constexpr int kThreads = 9;
+  std::vector<long> finals(kThreads, -1);
+  std::vector<long> expected(kThreads, 0);
+  std::vector<MigratableThread*> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    const int yields = 3 + static_cast<int>(rng.next_below(20));
+    expected[static_cast<std::size_t>(i)] = i * 1000L + static_cast<long>(yields) * (i + 1);
+    ts.push_back(make_thread(i % 3,
+                             [&sched, &finals, i, yields] {
+                               long acc = i * 1000;
+                               for (int y = 0; y < yields; ++y) {
+                                 acc += i + 1;
+                                 sched.yield();
+                               }
+                               finals[static_cast<std::size_t>(i)] = acc;
+                             },
+                             64 * 1024));
+  }
+  // Random ready order.
+  std::vector<int> order(kThreads);
+  for (int i = 0; i < kThreads; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (int i = kThreads - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[rng.next_below(static_cast<std::uint64_t>(i + 1))]);
+  }
+  for (int i : order) sched.ready(ts[static_cast<std::size_t>(i)]);
+  sched.run_until_idle();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(finals[static_cast<std::size_t>(i)],
+              expected[static_cast<std::size_t>(i)])
+        << "thread " << i << " state was corrupted or lost";
+  }
+  for (auto* t : ts) delete t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterleaveFuzz, ::testing::Range(1, 9));
+
+}  // namespace

@@ -1,0 +1,284 @@
+// Migratable-thread tests — the paper's §3.4 techniques, exercised through
+// real pack → serialize → unpack → resume cycles.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "iso/heap.h"
+#include "migrate/iso_thread.h"
+#include "migrate/memalias_thread.h"
+#include "migrate/migratable.h"
+#include "migrate/stackcopy_thread.h"
+#include "pup/pup.h"
+#include "ult/scheduler.h"
+
+namespace {
+
+using mfc::migrate::IsoThread;
+using mfc::migrate::MemAliasThread;
+using mfc::migrate::MigratableThread;
+using mfc::migrate::StackCopyThread;
+using mfc::migrate::Technique;
+using mfc::migrate::ThreadImage;
+using mfc::ult::Scheduler;
+using mfc::ult::State;
+
+class MigrateFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mfc::iso::Region::Config cfg;
+    cfg.npes = 4;
+    cfg.slot_bytes = 64 * 1024;
+    cfg.slots_per_pe = 512;
+    mfc::iso::Region::init(cfg);
+  }
+  void TearDown() override { mfc::iso::Region::shutdown(); }
+};
+
+// Shared test body: a thread builds stack + (optionally heap) state, suspends,
+// is packed/shipped/unpacked, then resumes and self-verifies.
+struct ProbeState {
+  bool before_ok = false;
+  bool after_ok = false;
+  void* heap_ptr = nullptr;
+};
+
+template <typename MakeThread>
+void run_migration_roundtrip(Scheduler& sched, ProbeState& probe,
+                             MakeThread make, bool with_heap) {
+  MigratableThread* t = make([&probe, &sched, with_heap] {
+    // Stack state: a local array with a known pattern, plus pointers into
+    // the stack itself (the hard case the same-address guarantee solves).
+    int pattern[64];
+    for (int i = 0; i < 64; ++i) pattern[i] = i * i + 1;
+    int* self_ptr = &pattern[17];
+
+    char* heap_data = nullptr;
+    if (with_heap) {
+      heap_data = static_cast<char*>(mfc::iso::routed_malloc(5000));
+      std::memset(heap_data, 0x5A, 5000);
+      probe.heap_ptr = heap_data;
+    }
+    probe.before_ok = (*self_ptr == 17 * 17 + 1);
+
+    sched.suspend();  // ---- migration happens here ----
+
+    // Resumed on the "destination": every pointer must still be valid.
+    bool ok = (self_ptr == &pattern[17]) && (*self_ptr == 17 * 17 + 1);
+    for (int i = 0; i < 64; ++i) ok = ok && (pattern[i] == i * i + 1);
+    if (with_heap) {
+      ok = ok && (heap_data == probe.heap_ptr);
+      for (int i = 0; i < 5000; ++i) ok = ok && (heap_data[i] == 0x5A);
+      mfc::iso::routed_free(heap_data);
+    }
+    probe.after_ok = ok;
+  });
+
+  sched.ready(t);
+  sched.run_until_idle();
+  ASSERT_EQ(t->state(), State::kSuspended);
+  ASSERT_TRUE(probe.before_ok);
+
+  // Pack and serialize exactly as the converse migration message would.
+  ThreadImage image = t->pack();
+  std::vector<char> wire = mfc::pup::to_bytes(image);
+  delete t;
+
+  ThreadImage arrived;
+  mfc::pup::from_bytes(wire, arrived);
+  MigratableThread* t2 = MigratableThread::unpack(std::move(arrived), 1);
+  ASSERT_NE(t2, nullptr);
+
+  sched.ready(t2);
+  sched.run_until_idle();
+  EXPECT_EQ(t2->state(), State::kDone);
+  EXPECT_TRUE(probe.after_ok);
+  delete t2;
+}
+
+TEST_F(MigrateFixture, IsoThreadMigratesStackAndHeap) {
+  Scheduler sched;
+  ProbeState probe;
+  run_migration_roundtrip(
+      sched, probe,
+      [](auto fn) { return new IsoThread(std::move(fn), /*birth_pe=*/0); },
+      /*with_heap=*/true);
+}
+
+TEST_F(MigrateFixture, StackCopyThreadMigratesStack) {
+  Scheduler sched;
+  ProbeState probe;
+  run_migration_roundtrip(
+      sched, probe,
+      [](auto fn) { return new StackCopyThread(std::move(fn)); },
+      /*with_heap=*/false);
+}
+
+TEST_F(MigrateFixture, MemAliasThreadMigratesStack) {
+  Scheduler sched;
+  ProbeState probe;
+  run_migration_roundtrip(
+      sched, probe,
+      [](auto fn) { return new MemAliasThread(std::move(fn)); },
+      /*with_heap=*/false);
+}
+
+TEST_F(MigrateFixture, IsoThreadIdentityAndLoadSurviveMigration) {
+  Scheduler sched;
+  auto* t = new IsoThread([&sched] { sched.suspend(); }, 0);
+  sched.ready(t);
+  sched.run_until_idle();
+  const auto id = t->id();
+  ThreadImage image = t->pack();
+  delete t;
+  auto* t2 = MigratableThread::unpack(std::move(image), 2);
+  EXPECT_EQ(t2->id(), id);
+  EXPECT_GE(t2->accumulated_load(), 0.0);
+  sched.ready(t2);
+  sched.run_until_idle();
+  delete t2;
+}
+
+TEST_F(MigrateFixture, StackAddressesIdenticalBeforeAndAfter) {
+  // The central claim of §3.4: "the stack will have exactly the same address
+  // on the new processor."
+  Scheduler sched;
+  static std::uintptr_t addr_before;
+  static std::uintptr_t addr_after;
+  auto* t = new IsoThread(
+      [&sched] {
+        int anchor = 0;
+        addr_before = reinterpret_cast<std::uintptr_t>(&anchor);
+        sched.suspend();
+        addr_after = reinterpret_cast<std::uintptr_t>(&anchor);
+      },
+      0);
+  sched.ready(t);
+  sched.run_until_idle();
+  ThreadImage image = t->pack();
+  delete t;
+  auto* t2 = MigratableThread::unpack(std::move(image), 3);
+  sched.ready(t2);
+  sched.run_until_idle();
+  EXPECT_EQ(addr_before, addr_after);
+  delete t2;
+}
+
+TEST_F(MigrateFixture, ManyStackCopyThreadsShareOneArena) {
+  Scheduler sched;
+  constexpr int kThreads = 32;
+  int done = 0;
+  std::vector<StackCopyThread*> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    auto* t = new StackCopyThread([&sched, &done, i] {
+      // Per-thread distinct stack content, interleaved via yields.
+      int mine[16];
+      for (int k = 0; k < 16; ++k) mine[k] = i * 100 + k;
+      for (int y = 0; y < 5; ++y) {
+        sched.yield();
+        for (int k = 0; k < 16; ++k) ASSERT_EQ(mine[k], i * 100 + k);
+      }
+      ++done;
+    });
+    ts.push_back(t);
+    sched.ready(t);
+  }
+  sched.run_until_idle();
+  EXPECT_EQ(done, kThreads);
+  for (auto* t : ts) delete t;
+}
+
+TEST_F(MigrateFixture, ManyMemAliasThreadsShareOneAddress) {
+  Scheduler sched;
+  constexpr int kThreads = 16;
+  int done = 0;
+  std::vector<MemAliasThread*> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    auto* t = new MemAliasThread([&sched, &done, i] {
+      double mine[8];
+      for (int k = 0; k < 8; ++k) mine[k] = i + k * 0.5;
+      for (int y = 0; y < 5; ++y) {
+        sched.yield();
+        for (int k = 0; k < 8; ++k) ASSERT_EQ(mine[k], i + k * 0.5);
+      }
+      ++done;
+    });
+    ts.push_back(t);
+    sched.ready(t);
+  }
+  sched.run_until_idle();
+  EXPECT_EQ(done, kThreads);
+  for (auto* t : ts) delete t;
+}
+
+TEST_F(MigrateFixture, MixedTechniquesCoexistOnOneScheduler) {
+  Scheduler sched;
+  int done = 0;
+  auto body = [&sched, &done] {
+    long local = 12345;
+    sched.yield();
+    ASSERT_EQ(local, 12345);
+    ++done;
+  };
+  IsoThread iso(body, 0);
+  StackCopyThread sc(body);
+  MemAliasThread ma(body);
+  mfc::ult::StandardThread plain(body);
+  for (mfc::ult::Thread* t :
+       std::initializer_list<mfc::ult::Thread*>{&iso, &sc, &ma, &plain}) {
+    sched.ready(t);
+  }
+  sched.run_until_idle();
+  EXPECT_EQ(done, 4);
+}
+
+TEST_F(MigrateFixture, IsoSlotsFreedOnDestruction) {
+  auto& region = mfc::iso::Region::instance();
+  const auto free_before = region.free_slots(0);
+  {
+    Scheduler sched;
+    auto* t = new IsoThread([] {}, 0);
+    sched.ready(t);
+    sched.run_until_idle();
+    delete t;
+  }
+  EXPECT_EQ(region.free_slots(0), free_before);
+}
+
+TEST_F(MigrateFixture, IsoSlotsTravelWithMigration) {
+  auto& region = mfc::iso::Region::instance();
+  Scheduler sched;
+  const auto used_before = region.used_slots(0);
+  auto* t = new IsoThread([&sched] { sched.suspend(); }, 0);
+  const auto used_running = region.used_slots(0);
+  EXPECT_GT(used_running, used_before);
+  sched.ready(t);
+  sched.run_until_idle();
+  ThreadImage image = t->pack();
+  delete t;
+  // Slots still reserved (they belong to the in-flight image), pages dropped.
+  EXPECT_EQ(region.used_slots(0), used_running);
+  auto* t2 = MigratableThread::unpack(std::move(image), 1);
+  sched.ready(t2);
+  sched.run_until_idle();
+  delete t2;
+  EXPECT_EQ(region.used_slots(0), used_before);
+}
+
+TEST_F(MigrateFixture, PackRequiresSuspendedThread) {
+  Scheduler sched;
+  auto* t = new IsoThread([] {}, 0);
+  EXPECT_DEATH(t->pack(), "suspended");
+  sched.ready(t);
+  sched.run_until_idle();
+  delete t;
+}
+
+TEST_F(MigrateFixture, TechniqueNames) {
+  EXPECT_STREQ(to_string(Technique::kStackCopy), "stack-copy");
+  EXPECT_STREQ(to_string(Technique::kIsomalloc), "isomalloc");
+  EXPECT_STREQ(to_string(Technique::kMemAlias), "memory-alias");
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// PUP framework round-trip tests (paper §3.1.1).
+#include "pup/pup.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace mfc;
+
+struct Inner {
+  int a = 0;
+  std::string label;
+  void pup(pup::Er& p) { p | a | label; }
+  bool operator==(const Inner&) const = default;
+};
+
+struct Outer {
+  double x = 0;
+  std::vector<Inner> inners;
+  std::map<std::string, int> index;
+  std::vector<std::uint8_t> raw;
+  void pup(pup::Er& p) { p | x | inners | index | raw; }
+  bool operator==(const Outer&) const = default;
+};
+
+TEST(Pup, ScalarRoundTrip) {
+  double v = 3.25;
+  auto bytes = pup::to_bytes(v);
+  EXPECT_EQ(bytes.size(), sizeof(double));
+  double w = 0;
+  pup::from_bytes(bytes, w);
+  EXPECT_EQ(w, 3.25);
+}
+
+TEST(Pup, StringRoundTripIncludingEmpty) {
+  for (std::string s : {std::string{}, std::string{"hello"},
+                        std::string(10000, 'x')}) {
+    auto bytes = pup::to_bytes(s);
+    std::string t = "garbage";
+    pup::from_bytes(bytes, t);
+    EXPECT_EQ(s, t);
+  }
+}
+
+TEST(Pup, NestedUserTypes) {
+  Outer o;
+  o.x = -1.5;
+  o.inners = {{1, "one"}, {2, "two"}, {3, ""}};
+  o.index = {{"alpha", 10}, {"beta", 20}};
+  o.raw = {0, 255, 7};
+  auto bytes = pup::to_bytes(o);
+  Outer p;
+  pup::from_bytes(bytes, p);
+  EXPECT_EQ(o, p);
+}
+
+TEST(Pup, SizerMatchesPackerExactly) {
+  Outer o;
+  o.inners.resize(17);
+  for (int i = 0; i < 17; ++i)
+    o.inners[static_cast<std::size_t>(i)] = {i, std::string(static_cast<std::size_t>(i), 'q')};
+  const std::size_t sized = pup::packed_size(o);
+  std::vector<char> buf(sized);
+  pup::MemPacker packer(buf.data(), buf.size());
+  pup::pup(packer, o);
+  EXPECT_EQ(packer.written(buf.data()), sized);
+}
+
+TEST(Pup, VectorOfTriviallyCopyableUsesBulkBytes) {
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(pup::packed_size(v), sizeof(std::size_t) + 5 * sizeof(int));
+}
+
+TEST(Pup, OptionalRoundTrip) {
+  std::optional<std::string> some = "value";
+  std::optional<std::string> none;
+  std::optional<std::string> out1, out2 = "stale";
+  pup::from_bytes(pup::to_bytes(some), out1);
+  pup::from_bytes(pup::to_bytes(none), out2);
+  EXPECT_EQ(out1, some);
+  EXPECT_EQ(out2, none);
+}
+
+TEST(Pup, PairAndArray) {
+  std::pair<int, std::string> pr = {9, "nine"};
+  std::array<double, 4> arr = {1, 2, 3, 4};
+  decltype(pr) pr2;
+  decltype(arr) arr2{};
+  pup::from_bytes(pup::to_bytes(pr), pr2);
+  pup::from_bytes(pup::to_bytes(arr), arr2);
+  EXPECT_EQ(pr, pr2);
+  EXPECT_EQ(arr, arr2);
+}
+
+TEST(Pup, UnorderedMapRoundTrip) {
+  std::unordered_map<int, std::vector<int>> m;
+  for (int i = 0; i < 50; ++i) m[i] = std::vector<int>(static_cast<std::size_t>(i), i);
+  decltype(m) n;
+  pup::from_bytes(pup::to_bytes(m), n);
+  EXPECT_EQ(m, n);
+}
+
+TEST(PupDeath, UnpackerRefusesUnderflow) {
+  std::vector<char> buf(4);
+  pup::MemUnpacker u(buf.data(), buf.size());
+  double big = 0;
+  EXPECT_DEATH(pup::pup(u, big), "underflow");
+}
+
+TEST(PupDeath, PackerRefusesOverflow) {
+  std::vector<char> buf(4);
+  pup::MemPacker p(buf.data(), buf.size());
+  double big = 1.0;
+  EXPECT_DEATH(pup::pup(p, big), "overflow");
+}
+
+// Property-style sweep: packed size is a pure function of the value, and
+// round-trips are exact, across many randomized shapes.
+class PupProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PupProperty, RandomizedRoundTrip) {
+  mfc::SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  Outer o;
+  o.x = rng.next_double();
+  const auto n_inner = rng.next_below(40);
+  for (std::uint64_t i = 0; i < n_inner; ++i) {
+    Inner in;
+    in.a = static_cast<int>(rng.next());
+    in.label = std::string(rng.next_below(100), static_cast<char>('a' + (i % 26)));
+    o.inners.push_back(in);
+  }
+  const auto n_keys = rng.next_below(20);
+  for (std::uint64_t i = 0; i < n_keys; ++i) {
+    o.index[std::to_string(rng.next())] = static_cast<int>(rng.next());
+  }
+  o.raw.resize(rng.next_below(1000));
+  for (auto& b : o.raw) b = static_cast<std::uint8_t>(rng.next());
+
+  auto bytes = pup::to_bytes(o);
+  EXPECT_EQ(bytes.size(), pup::packed_size(o));
+  Outer p;
+  pup::from_bytes(bytes, p);
+  EXPECT_EQ(o, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PupProperty, ::testing::Range(1, 21));
+
+}  // namespace

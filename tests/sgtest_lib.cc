@@ -1,0 +1,26 @@
+// Shared library used by the ELF-GOT swap tests (swapglobal_test.cc).
+//
+// It is built with default PIC settings and accesses its exported globals
+// through its own GOT — i.e., it is an "existing codebase" knowing nothing
+// about privatization, exactly the situation the paper's swap-global scheme
+// targets. The sgtest_ accessor functions exist so the test can observe the
+// values *as this library sees them* (through the possibly-redirected GOT).
+
+extern "C" {
+
+int sgtest_counter = 100;
+double sgtest_values[4] = {1.0, 2.0, 3.0, 4.0};
+
+int sgtest_get_counter() { return sgtest_counter; }
+void sgtest_set_counter(int v) { sgtest_counter = v; }
+void sgtest_increment() { ++sgtest_counter; }
+double sgtest_sum_values() {
+  double total = 0;
+  for (double v : sgtest_values) total += v;
+  return total;
+}
+void sgtest_scale_values(double f) {
+  for (double& v : sgtest_values) v *= f;
+}
+
+}  // extern "C"

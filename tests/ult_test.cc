@@ -1,0 +1,176 @@
+// User-level thread and scheduler tests (paper §2.3).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ult/scheduler.h"
+#include "ult/thread.h"
+
+namespace {
+
+using mfc::ult::Scheduler;
+using mfc::ult::StandardThread;
+using mfc::ult::State;
+using mfc::ult::Thread;
+
+TEST(Ult, RunsToCompletion) {
+  Scheduler sched;
+  bool ran = false;
+  StandardThread t([&] { ran = true; });
+  sched.ready(&t);
+  EXPECT_TRUE(sched.run_one());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(t.state(), State::kDone);
+  EXPECT_FALSE(sched.run_one());
+}
+
+TEST(Ult, YieldInterleavesFairly) {
+  Scheduler sched;
+  std::string trace;
+  StandardThread a([&] {
+    for (int i = 0; i < 3; ++i) {
+      trace += 'a';
+      sched.yield();
+    }
+  });
+  StandardThread b([&] {
+    for (int i = 0; i < 3; ++i) {
+      trace += 'b';
+      sched.yield();
+    }
+  });
+  sched.ready(&a);
+  sched.ready(&b);
+  sched.run_until_idle();
+  EXPECT_EQ(trace, "ababab");
+  EXPECT_EQ(a.state(), State::kDone);
+  EXPECT_EQ(b.state(), State::kDone);
+}
+
+TEST(Ult, SuspendBlocksUntilResumed) {
+  Scheduler sched;
+  int phase = 0;
+  StandardThread waiter([&] {
+    phase = 1;
+    sched.suspend();
+    phase = 2;
+  });
+  sched.ready(&waiter);
+  sched.run_until_idle();
+  EXPECT_EQ(phase, 1);
+  EXPECT_EQ(waiter.state(), State::kSuspended);
+
+  sched.ready(&waiter);  // resume
+  sched.run_until_idle();
+  EXPECT_EQ(phase, 2);
+  EXPECT_EQ(waiter.state(), State::kDone);
+}
+
+TEST(Ult, ThreadsCanSpawnThreads) {
+  Scheduler sched;
+  Scheduler::set_current(&sched);
+  int total = 0;
+  StandardThread parent([&] {
+    for (int i = 0; i < 5; ++i) {
+      mfc::ult::spawn([&total] { ++total; });
+    }
+  });
+  sched.ready(&parent);
+  sched.run_until_idle();
+  Scheduler::set_current(nullptr);
+  EXPECT_EQ(total, 5);
+}
+
+TEST(Ult, ManyThreadsRoundRobin) {
+  Scheduler sched;
+  constexpr int kThreads = 500;
+  constexpr int kYields = 10;
+  int finished = 0;
+  std::vector<std::unique_ptr<StandardThread>> ts;
+  ts.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    ts.push_back(std::make_unique<StandardThread>(
+        [&sched, &finished] {
+          for (int y = 0; y < kYields; ++y) sched.yield();
+          ++finished;
+        },
+        16 * 1024));
+    sched.ready(ts.back().get());
+  }
+  sched.run_until_idle();
+  EXPECT_EQ(finished, kThreads);
+}
+
+TEST(Ult, LoadAccumulatesWhileRunning) {
+  Scheduler sched;
+  StandardThread t([&] {
+    volatile double sink = 0;
+    for (int i = 0; i < 2000000; ++i) sink = sink + i;
+  });
+  sched.ready(&t);
+  sched.run_until_idle();
+  EXPECT_GT(t.accumulated_load(), 0.0);
+}
+
+TEST(Ult, DetachedThreadsSelfDelete) {
+  Scheduler sched;
+  Scheduler::set_current(&sched);
+  // spawn() marks delete-on-exit; running to idle must not leak (ASAN-able)
+  // nor crash on the self-delete path.
+  for (int i = 0; i < 100; ++i) mfc::ult::spawn([] {});
+  sched.run_until_idle();
+  Scheduler::set_current(nullptr);
+  EXPECT_EQ(sched.ready_count(), 0u);
+}
+
+TEST(Ult, CurrentSchedulerIsPerKernelThread) {
+  Scheduler& a = Scheduler::current();
+  Scheduler& b = Scheduler::current();
+  EXPECT_EQ(&a, &b);
+  Scheduler mine;
+  Scheduler::set_current(&mine);
+  EXPECT_EQ(&Scheduler::current(), &mine);
+  Scheduler::set_current(nullptr);
+  EXPECT_EQ(&Scheduler::current(), &a);
+}
+
+TEST(Ult, NestedYieldDeepInCallStack) {
+  // The motivating property of threads over event-driven objects (§2.4):
+  // suspension from a deeply nested call requires no code restructuring.
+  Scheduler sched;
+  struct Deep {
+    static void recurse(Scheduler& s, int depth) {
+      if (depth == 0) {
+        s.yield();
+        return;
+      }
+      volatile char pad[200];
+      pad[0] = static_cast<char>(depth);
+      (void)pad;
+      recurse(s, depth - 1);
+    }
+  };
+  int done = 0;
+  StandardThread a([&] { Deep::recurse(sched, 50); ++done; }, 128 * 1024);
+  StandardThread b([&] { Deep::recurse(sched, 50); ++done; }, 128 * 1024);
+  sched.ready(&a);
+  sched.ready(&b);
+  sched.run_until_idle();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(UltDeath, YieldOutsideThreadAborts) {
+  Scheduler sched;
+  EXPECT_DEATH(sched.yield(), "outside a thread");
+}
+
+TEST(UltDeath, ReadyTwiceAborts) {
+  Scheduler sched;
+  StandardThread t([] {});
+  sched.ready(&t);
+  EXPECT_DEATH(sched.ready(&t), "already-queued");
+  sched.run_until_idle();
+}
+
+}  // namespace

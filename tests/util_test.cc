@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/queue.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/sysinfo.h"
+#include "util/timer.h"
+
+namespace {
+
+TEST(Stats, RunningMatchesClosedForm) {
+  mfc::RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  // Variance of 1..100 (sample): n(n+1)/12 with n=101 → 841.666...
+  EXPECT_NEAR(s.variance(), 841.6667, 1e-3);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  mfc::Sample s;
+  for (int i = 0; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.5);
+}
+
+TEST(Stats, ImbalanceRatio) {
+  EXPECT_DOUBLE_EQ(mfc::imbalance_ratio({1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(mfc::imbalance_ratio({4, 0, 0, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(mfc::imbalance_ratio({3, 1}), 1.5);
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  mfc::SplitMix64 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  mfc::SplitMix64 c(123);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = c.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_LT(c.next_below(17), 17u);
+  }
+}
+
+TEST(Timer, MonotoneAndPositive) {
+  const double t0 = mfc::wall_time();
+  const double c0 = mfc::thread_cpu_time();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(mfc::wall_time(), t0);
+  EXPECT_GE(mfc::thread_cpu_time(), c0);
+}
+
+TEST(Queue, FifoSingleThread) {
+  mfc::MpscQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(Queue, MultiProducerDeliversAll) {
+  mfc::MpscQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kEach = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kEach; ++i) q.push(p * kEach + i);
+    });
+  }
+  std::vector<bool> seen(kProducers * kEach, false);
+  int got = 0;
+  while (got < kProducers * kEach) {
+    auto v = q.pop_wait();
+    if (!v) continue;
+    ASSERT_FALSE(seen[static_cast<std::size_t>(*v)]);
+    seen[static_cast<std::size_t>(*v)] = true;
+    ++got;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Queue, WakeUnblocksWithoutData) {
+  mfc::MpscQueue<int> q;
+  std::thread waker([&q] { q.wake(); });
+  auto v = q.pop_wait();  // must not hang
+  EXPECT_FALSE(v.has_value());
+  waker.join();
+}
+
+TEST(SysInfo, ReportsSaneValues) {
+  const auto info = mfc::query_sysinfo();
+  EXPECT_FALSE(info.arch.empty());
+  EXPECT_GE(info.ncpus, 1);
+  EXPECT_GE(info.page_size, 4096u);
+}
+
+TEST(SysInfo, CapabilitiesOnLinux) {
+  const auto caps = mfc::probe_capabilities();
+  // This container demonstrated all of these in the pre-build probe; the
+  // portability table (Table 1) depends on them.
+  EXPECT_TRUE(caps.mmap_fixed);
+  EXPECT_TRUE(caps.big_reservation);
+}
+
+TEST(Format, AdaptiveUnits) {
+  EXPECT_EQ(mfc::format_ns(12.0), "12.0 ns");
+  EXPECT_EQ(mfc::format_ns(4200.0), "4.20 us");
+  EXPECT_EQ(mfc::format_ns(3.5e6), "3.50 ms");
+  EXPECT_EQ(mfc::format_ns(2.1e9), "2.10 s");
+}
+
+}  // namespace
