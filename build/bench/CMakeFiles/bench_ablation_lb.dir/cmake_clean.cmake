@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lb.dir/bench_ablation_lb.cc.o"
+  "CMakeFiles/bench_ablation_lb.dir/bench_ablation_lb.cc.o.d"
+  "bench_ablation_lb"
+  "bench_ablation_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_minswap.dir/bench_fig10_minswap.cc.o"
+  "CMakeFiles/bench_fig10_minswap.dir/bench_fig10_minswap.cc.o.d"
+  "bench_fig10_minswap"
+  "bench_fig10_minswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_minswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_bigsim.dir/bench_fig11_bigsim.cc.o"
+  "CMakeFiles/bench_fig11_bigsim.dir/bench_fig11_bigsim.cc.o.d"
+  "bench_fig11_bigsim"
+  "bench_fig11_bigsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_bigsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

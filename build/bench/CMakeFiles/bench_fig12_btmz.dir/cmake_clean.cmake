@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_btmz.dir/bench_fig12_btmz.cc.o"
+  "CMakeFiles/bench_fig12_btmz.dir/bench_fig12_btmz.cc.o.d"
+  "bench_fig12_btmz"
+  "bench_fig12_btmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_btmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

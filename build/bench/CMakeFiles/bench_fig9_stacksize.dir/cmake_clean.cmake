@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_stacksize.dir/bench_fig9_stacksize.cc.o"
+  "CMakeFiles/bench_fig9_stacksize.dir/bench_fig9_stacksize.cc.o.d"
+  "bench_fig9_stacksize"
+  "bench_fig9_stacksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_stacksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_portability.dir/bench_table1_portability.cc.o"
+  "CMakeFiles/bench_table1_portability.dir/bench_table1_portability.cc.o.d"
+  "bench_table1_portability"
+  "bench_table1_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

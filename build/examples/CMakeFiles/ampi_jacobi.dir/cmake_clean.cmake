@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampi_jacobi.dir/ampi_jacobi.cpp.o"
+  "CMakeFiles/ampi_jacobi.dir/ampi_jacobi.cpp.o.d"
+  "ampi_jacobi"
+  "ampi_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampi_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

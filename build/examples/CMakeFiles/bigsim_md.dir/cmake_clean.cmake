@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigsim_md.dir/bigsim_md.cpp.o"
+  "CMakeFiles/bigsim_md.dir/bigsim_md.cpp.o.d"
+  "bigsim_md"
+  "bigsim_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigsim_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

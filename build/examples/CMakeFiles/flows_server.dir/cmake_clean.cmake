@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flows_server.dir/flows_server.cpp.o"
+  "CMakeFiles/flows_server.dir/flows_server.cpp.o.d"
+  "flows_server"
+  "flows_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flows_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

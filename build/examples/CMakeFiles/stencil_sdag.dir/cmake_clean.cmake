@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_sdag.dir/stencil_sdag.cpp.o"
+  "CMakeFiles/stencil_sdag.dir/stencil_sdag.cpp.o.d"
+  "stencil_sdag"
+  "stencil_sdag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_sdag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

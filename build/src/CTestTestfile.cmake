@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("arch")
+subdirs("pup")
+subdirs("iso")
+subdirs("ult")
+subdirs("migrate")
+subdirs("swapglobal")
+subdirs("converse")
+subdirs("charm")
+subdirs("sdag")
+subdirs("ampi")
+subdirs("lb")
+subdirs("bigsim")
+subdirs("nasmz")

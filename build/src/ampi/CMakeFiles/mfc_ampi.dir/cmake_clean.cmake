@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_ampi.dir/ampi.cc.o"
+  "CMakeFiles/mfc_ampi.dir/ampi.cc.o.d"
+  "libmfc_ampi.a"
+  "libmfc_ampi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_ampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

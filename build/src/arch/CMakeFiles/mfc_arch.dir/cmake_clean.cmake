@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_arch.dir/context.cc.o"
+  "CMakeFiles/mfc_arch.dir/context.cc.o.d"
+  "CMakeFiles/mfc_arch.dir/ctx_swap.S.o"
+  "libmfc_arch.a"
+  "libmfc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/mfc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

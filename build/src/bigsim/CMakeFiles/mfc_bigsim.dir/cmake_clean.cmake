@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_bigsim.dir/bigsim.cc.o"
+  "CMakeFiles/mfc_bigsim.dir/bigsim.cc.o.d"
+  "libmfc_bigsim.a"
+  "libmfc_bigsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_bigsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

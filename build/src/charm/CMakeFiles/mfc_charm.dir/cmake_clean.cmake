@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_charm.dir/array.cc.o"
+  "CMakeFiles/mfc_charm.dir/array.cc.o.d"
+  "CMakeFiles/mfc_charm.dir/lb_manager.cc.o"
+  "CMakeFiles/mfc_charm.dir/lb_manager.cc.o.d"
+  "libmfc_charm.a"
+  "libmfc_charm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_converse.dir/machine.cc.o"
+  "CMakeFiles/mfc_converse.dir/machine.cc.o.d"
+  "libmfc_converse.a"
+  "libmfc_converse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_converse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_iso.dir/heap.cc.o"
+  "CMakeFiles/mfc_iso.dir/heap.cc.o.d"
+  "CMakeFiles/mfc_iso.dir/region.cc.o"
+  "CMakeFiles/mfc_iso.dir/region.cc.o.d"
+  "libmfc_iso.a"
+  "libmfc_iso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_isohook.dir/malloc_hook.cc.o"
+  "CMakeFiles/mfc_isohook.dir/malloc_hook.cc.o.d"
+  "libmfc_isohook.a"
+  "libmfc_isohook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_isohook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_lb.dir/strategy.cc.o"
+  "CMakeFiles/mfc_lb.dir/strategy.cc.o.d"
+  "libmfc_lb.a"
+  "libmfc_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

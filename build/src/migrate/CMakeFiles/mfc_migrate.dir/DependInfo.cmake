@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migrate/checkpoint.cc" "src/migrate/CMakeFiles/mfc_migrate.dir/checkpoint.cc.o" "gcc" "src/migrate/CMakeFiles/mfc_migrate.dir/checkpoint.cc.o.d"
+  "/root/repo/src/migrate/common_arena.cc" "src/migrate/CMakeFiles/mfc_migrate.dir/common_arena.cc.o" "gcc" "src/migrate/CMakeFiles/mfc_migrate.dir/common_arena.cc.o.d"
+  "/root/repo/src/migrate/iso_thread.cc" "src/migrate/CMakeFiles/mfc_migrate.dir/iso_thread.cc.o" "gcc" "src/migrate/CMakeFiles/mfc_migrate.dir/iso_thread.cc.o.d"
+  "/root/repo/src/migrate/memalias_thread.cc" "src/migrate/CMakeFiles/mfc_migrate.dir/memalias_thread.cc.o" "gcc" "src/migrate/CMakeFiles/mfc_migrate.dir/memalias_thread.cc.o.d"
+  "/root/repo/src/migrate/migratable.cc" "src/migrate/CMakeFiles/mfc_migrate.dir/migratable.cc.o" "gcc" "src/migrate/CMakeFiles/mfc_migrate.dir/migratable.cc.o.d"
+  "/root/repo/src/migrate/stackcopy_thread.cc" "src/migrate/CMakeFiles/mfc_migrate.dir/stackcopy_thread.cc.o" "gcc" "src/migrate/CMakeFiles/mfc_migrate.dir/stackcopy_thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ult/CMakeFiles/mfc_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/iso/CMakeFiles/mfc_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mfc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_migrate.dir/checkpoint.cc.o"
+  "CMakeFiles/mfc_migrate.dir/checkpoint.cc.o.d"
+  "CMakeFiles/mfc_migrate.dir/common_arena.cc.o"
+  "CMakeFiles/mfc_migrate.dir/common_arena.cc.o.d"
+  "CMakeFiles/mfc_migrate.dir/iso_thread.cc.o"
+  "CMakeFiles/mfc_migrate.dir/iso_thread.cc.o.d"
+  "CMakeFiles/mfc_migrate.dir/memalias_thread.cc.o"
+  "CMakeFiles/mfc_migrate.dir/memalias_thread.cc.o.d"
+  "CMakeFiles/mfc_migrate.dir/migratable.cc.o"
+  "CMakeFiles/mfc_migrate.dir/migratable.cc.o.d"
+  "CMakeFiles/mfc_migrate.dir/stackcopy_thread.cc.o"
+  "CMakeFiles/mfc_migrate.dir/stackcopy_thread.cc.o.d"
+  "libmfc_migrate.a"
+  "libmfc_migrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_migrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_nasmz.dir/btmz.cc.o"
+  "CMakeFiles/mfc_nasmz.dir/btmz.cc.o.d"
+  "CMakeFiles/mfc_nasmz.dir/zones.cc.o"
+  "CMakeFiles/mfc_nasmz.dir/zones.cc.o.d"
+  "libmfc_nasmz.a"
+  "libmfc_nasmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_nasmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_swapglobal.dir/elf_got.cc.o"
+  "CMakeFiles/mfc_swapglobal.dir/elf_got.cc.o.d"
+  "CMakeFiles/mfc_swapglobal.dir/global.cc.o"
+  "CMakeFiles/mfc_swapglobal.dir/global.cc.o.d"
+  "libmfc_swapglobal.a"
+  "libmfc_swapglobal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_swapglobal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

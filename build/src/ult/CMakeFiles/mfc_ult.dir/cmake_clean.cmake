@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_ult.dir/scheduler.cc.o"
+  "CMakeFiles/mfc_ult.dir/scheduler.cc.o.d"
+  "CMakeFiles/mfc_ult.dir/thread.cc.o"
+  "CMakeFiles/mfc_ult.dir/thread.cc.o.d"
+  "libmfc_ult.a"
+  "libmfc_ult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_ult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

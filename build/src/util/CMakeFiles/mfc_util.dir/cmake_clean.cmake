@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfc_util.dir/log.cc.o"
+  "CMakeFiles/mfc_util.dir/log.cc.o.d"
+  "CMakeFiles/mfc_util.dir/stats.cc.o"
+  "CMakeFiles/mfc_util.dir/stats.cc.o.d"
+  "CMakeFiles/mfc_util.dir/sysinfo.cc.o"
+  "CMakeFiles/mfc_util.dir/sysinfo.cc.o.d"
+  "CMakeFiles/mfc_util.dir/timer.cc.o"
+  "CMakeFiles/mfc_util.dir/timer.cc.o.d"
+  "libmfc_util.a"
+  "libmfc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

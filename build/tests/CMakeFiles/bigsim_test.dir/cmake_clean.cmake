@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigsim_test.dir/bigsim_test.cc.o"
+  "CMakeFiles/bigsim_test.dir/bigsim_test.cc.o.d"
+  "bigsim_test"
+  "bigsim_test.pdb"
+  "bigsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

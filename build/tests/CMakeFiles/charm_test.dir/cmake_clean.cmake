@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charm_test.dir/charm_test.cc.o"
+  "CMakeFiles/charm_test.dir/charm_test.cc.o.d"
+  "charm_test"
+  "charm_test.pdb"
+  "charm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

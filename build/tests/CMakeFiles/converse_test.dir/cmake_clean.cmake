@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converse_test.dir/converse_test.cc.o"
+  "CMakeFiles/converse_test.dir/converse_test.cc.o.d"
+  "converse_test"
+  "converse_test.pdb"
+  "converse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isohook_test.dir/isohook_test.cc.o"
+  "CMakeFiles/isohook_test.dir/isohook_test.cc.o.d"
+  "isohook_test"
+  "isohook_test.pdb"
+  "isohook_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isohook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

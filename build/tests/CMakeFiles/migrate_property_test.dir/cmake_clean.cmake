@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_property_test.dir/migrate_property_test.cc.o"
+  "CMakeFiles/migrate_property_test.dir/migrate_property_test.cc.o.d"
+  "migrate_property_test"
+  "migrate_property_test.pdb"
+  "migrate_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

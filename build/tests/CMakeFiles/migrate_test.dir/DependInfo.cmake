@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/migrate_test.cc" "tests/CMakeFiles/migrate_test.dir/migrate_test.cc.o" "gcc" "tests/CMakeFiles/migrate_test.dir/migrate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/migrate/CMakeFiles/mfc_migrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/mfc_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mfc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/iso/CMakeFiles/mfc_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

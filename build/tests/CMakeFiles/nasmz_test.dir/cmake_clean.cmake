@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasmz_test.dir/nasmz_test.cc.o"
+  "CMakeFiles/nasmz_test.dir/nasmz_test.cc.o.d"
+  "nasmz_test"
+  "nasmz_test.pdb"
+  "nasmz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasmz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pup_test.dir/pup_test.cc.o"
+  "CMakeFiles/pup_test.dir/pup_test.cc.o.d"
+  "pup_test"
+  "pup_test.pdb"
+  "pup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

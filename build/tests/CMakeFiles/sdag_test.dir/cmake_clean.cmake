@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdag_test.dir/sdag_test.cc.o"
+  "CMakeFiles/sdag_test.dir/sdag_test.cc.o.d"
+  "sdag_test"
+  "sdag_test.pdb"
+  "sdag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgtest_lib.dir/sgtest_lib.cc.o"
+  "CMakeFiles/sgtest_lib.dir/sgtest_lib.cc.o.d"
+  "libsgtest_lib.pdb"
+  "libsgtest_lib.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgtest_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

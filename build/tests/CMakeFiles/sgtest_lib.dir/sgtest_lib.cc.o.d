@@ -1,0 +1,2 @@
+tests/CMakeFiles/sgtest_lib.dir/sgtest_lib.cc.o: \
+ /root/repo/tests/sgtest_lib.cc /usr/include/stdc-predef.h

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/swapglobal_test.cc" "tests/CMakeFiles/swapglobal_test.dir/swapglobal_test.cc.o" "gcc" "tests/CMakeFiles/swapglobal_test.dir/swapglobal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swapglobal/CMakeFiles/mfc_swapglobal.dir/DependInfo.cmake"
+  "/root/repo/build/src/ult/CMakeFiles/mfc_ult.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mfc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

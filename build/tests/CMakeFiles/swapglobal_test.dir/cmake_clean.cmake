@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapglobal_test.dir/swapglobal_test.cc.o"
+  "CMakeFiles/swapglobal_test.dir/swapglobal_test.cc.o.d"
+  "swapglobal_test"
+  "swapglobal_test.pdb"
+  "swapglobal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapglobal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ult_test.dir/ult_test.cc.o"
+  "CMakeFiles/ult_test.dir/ult_test.cc.o.d"
+  "ult_test"
+  "ult_test.pdb"
+  "ult_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ult_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/arch_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/pup_test[1]_include.cmake")
+include("/root/repo/build/tests/iso_test[1]_include.cmake")
+include("/root/repo/build/tests/ult_test[1]_include.cmake")
+include("/root/repo/build/tests/migrate_test[1]_include.cmake")
+include("/root/repo/build/tests/converse_test[1]_include.cmake")
+include("/root/repo/build/tests/charm_test[1]_include.cmake")
+include("/root/repo/build/tests/sdag_test[1]_include.cmake")
+include("/root/repo/build/tests/lb_test[1]_include.cmake")
+include("/root/repo/build/tests/ampi_test[1]_include.cmake")
+include("/root/repo/build/tests/swapglobal_test[1]_include.cmake")
+include("/root/repo/build/tests/bigsim_test[1]_include.cmake")
+include("/root/repo/build/tests/nasmz_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/isohook_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/migrate_property_test[1]_include.cmake")
+include("/root/repo/build/tests/charm_lb_test[1]_include.cmake")
