@@ -1,7 +1,10 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "util/sysinfo.h"
 
@@ -13,6 +16,52 @@ inline void print_header(const char* what, const char* paper_ref) {
   std::printf("# reproduces: %s\n", paper_ref);
   std::printf("# platform: %s, %s, %d cpus\n\n", info.os.c_str(),
               info.arch.c_str(), info.ncpus);
+}
+
+/// One measured configuration of a messaging benchmark.
+struct MsgBenchRow {
+  std::string name;  ///< e.g. "pingpong"
+  std::string mode;  ///< "mutex_baseline" or "lockfree"
+  int npes = 0;
+  std::uint64_t messages = 0;
+  double seconds = 0.0;
+
+  double msgs_per_sec() const {
+    return seconds > 0 ? static_cast<double>(messages) / seconds : 0.0;
+  }
+  double ns_per_msg() const {
+    return messages > 0 ? seconds * 1e9 / static_cast<double>(messages) : 0.0;
+  }
+};
+
+/// Writes benchmark rows as JSON (staged via `<path>.tmp` then renamed, so
+/// a crash never leaves a truncated record). Returns false on I/O failure.
+inline bool write_msg_bench_json(const char* path, const char* suite,
+                                 const std::vector<MsgBenchRow>& rows) {
+  const std::string tmp = std::string(path) + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const auto info = query_sysinfo();
+  std::fprintf(f, "{\n  \"suite\": \"%s\",\n", suite);
+  std::fprintf(f,
+               "  \"platform\": {\"os\": \"%s\", \"arch\": \"%s\", "
+               "\"ncpus\": %d},\n",
+               info.os.c_str(), info.arch.c_str(), info.ncpus);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MsgBenchRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"mode\": \"%s\", \"npes\": %d, "
+                 "\"messages\": %llu, \"seconds\": %.6f, "
+                 "\"msgs_per_sec\": %.0f, \"ns_per_msg\": %.1f}%s\n",
+                 r.name.c_str(), r.mode.c_str(), r.npes,
+                 static_cast<unsigned long long>(r.messages), r.seconds,
+                 r.msgs_per_sec(), r.ns_per_msg(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path) == 0;
 }
 
 }  // namespace mfc::bench

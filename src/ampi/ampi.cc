@@ -153,7 +153,7 @@ void handle_p2p(converse::Message&& m) {
     // The rank is on its way here; hold the message for its arrival.
     ps.held[msg.dest].push_back(std::move(msg));
   } else {
-    converse::send(believed, h_p2p, std::move(m.payload));
+    converse::send(believed, h_p2p, m.payload.take());
   }
 }
 

@@ -9,6 +9,22 @@
 #error "mfc/arch: only x86-64 System V is implemented (see DESIGN.md §5)"
 #endif
 
+// ThreadSanitizer cannot follow a raw assembly stack switch: without help it
+// sees one kernel thread's shadow stack teleport, and every report after the
+// first context switch is garbage. Its fiber API fixes that — each Context
+// gets a tsan "fiber", and we announce every switch. Detect tsan under both
+// GCC (__SANITIZE_THREAD__) and Clang (__has_feature).
+#if defined(__SANITIZE_THREAD__)
+#define MFC_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MFC_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(MFC_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 extern "C" {
 // Assembly routine from ctx_swap.S (paper Figure 10b).
 void mfc_swap_context(void** save_sp, void** load_sp);
@@ -55,6 +71,17 @@ Context make_context(void* stack, std::size_t size, EntryFn fn, void* arg) {
 
 void swap_context(Context* from, Context* to) {
   MFC_DCHECK(from != nullptr && to != nullptr && to->sp != nullptr);
+#if defined(MFC_TSAN_FIBERS)
+  // Fibers are created lazily on first switch: a scheduler's main context is
+  // always a `from` before it is a `to` (its fiber is the kernel thread's
+  // root fiber), and a fresh or unpacked thread context gets a new fiber
+  // here. Fibers are deliberately never destroyed — a migrated thread's husk
+  // may still reference the live fiber, and tsan runs are test-only.
+  if (from->tsan_fiber == nullptr)
+    from->tsan_fiber = __tsan_get_current_fiber();
+  if (to->tsan_fiber == nullptr) to->tsan_fiber = __tsan_create_fiber(0);
+  __tsan_switch_to_fiber(to->tsan_fiber, 0);
+#endif
   mfc_swap_context(&from->sp, &to->sp);
 }
 

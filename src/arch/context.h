@@ -18,6 +18,10 @@ using EntryFn = void (*)(void*);
 
 struct Context {
   void* sp = nullptr;  ///< saved stack pointer; null until first suspend
+  /// ThreadSanitizer fiber handle (see swap_context). Unused — and unset —
+  /// outside -fsanitize=thread builds; kept unconditionally so the struct
+  /// layout does not depend on the sanitizer (sp must stay first).
+  void* tsan_fiber = nullptr;
 };
 
 /// Prepares `stack` (of `size` bytes, any alignment) so the first

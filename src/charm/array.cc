@@ -173,7 +173,7 @@ void ArrayBase::handle_route(int index, int tag, std::vector<char> payload) {
       // Buffer until the element settles at its destination.
       converse::Message buffered;
       buffered.handler = h_route;
-      buffered.payload = pup::to_bytes(msg);
+      buffered.payload.adopt(pup::to_bytes(msg));
       entry.buffered.push_back(std::move(buffered));
     } else {
       converse::send_value(entry.location, h_route, msg);
@@ -224,7 +224,7 @@ void ArrayBase::handle_settled(int index, int pe) {
   HomeEntry& entry = home_.at(index);
   entry.location = pe;
   entry.in_transit = false;
-  for (auto& m : entry.buffered) converse::send(pe, h_route, std::move(m.payload));
+  for (auto& m : entry.buffered) converse::send(pe, h_route, m.payload.take());
   entry.buffered.clear();
 }
 

@@ -1,6 +1,7 @@
 #include "converse/machine.h"
 
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -14,35 +15,76 @@ namespace mfc::converse {
 
 namespace {
 
-// ---- Handler registry (shared by every PE / address space; populated
-// before the machine boots so ids agree machine-wide) ----
+// ---- Handler registry ----
+//
+// Registration is mutex-guarded (it is cold: module init / first use), but
+// the table itself is a fixed-capacity array of atomic slots so dispatch()
+// is a bounds check plus one acquire load — no lock, ever. Handler ids only
+// reach other PEs through messages, and the queue's release/acquire pair
+// makes the slot store visible before any message naming it can arrive.
+constexpr std::size_t kMaxHandlers = 1024;
 
-std::mutex g_handler_mutex;
-std::vector<HandlerFn>& handler_table() {
-  static std::vector<HandlerFn> table;
-  return table;
-}
+std::mutex g_register_mutex;
+std::atomic<HandlerFn*> g_handler_slots[kMaxHandlers];
+std::atomic<std::uint32_t> g_handler_count{0};
+
+/// Self-sends from handler context deliver inline (no enqueue); the depth
+/// cap bounds stack growth and guarantees handler chains that never go
+/// idle still return to the scheduler loop.
+constexpr int kMaxInlineDepth = 8;
+
+/// Message counters live one cache line per PE, written only by that PE's
+/// kernel thread (sent/qd_sent as producer, delivered/qd_delivered as
+/// consumer) — no cross-PE cache-line traffic on the hot path. Readers sum.
+struct alignas(64) PeCounters {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> qd_sent{0};
+  std::atomic<std::uint64_t> qd_delivered{0};
+};
+
+/// Per-PE Message freelist, touched only by the owning PE's kernel thread.
+/// A consumed message is adopted into the *consuming* PE's pool rather than
+/// returned to its allocator, so recycling costs one vector push and no
+/// cross-thread traffic; pools stay balanced because symmetric traffic
+/// returns as many messages as it takes. The cap bounds memory under
+/// one-way floods (excess messages are simply freed; the cap is
+/// Config::pool_cap). Recycled messages keep their payload capacity, so
+/// steady-state sends allocate nothing.
+struct MsgPool {
+  std::vector<Message*> cache;
+};
 
 struct Pe {
   int id = -1;
-  MpscQueue<Message> queue;
+  IntrusiveMpscChannel<Message> queue;
+  MutexMpscQueue<Message> legacy_queue;  // Config::mutex_baseline only
   ult::Scheduler sched;
   ult::Thread* barrier_waiter = nullptr;
   std::uint64_t barrier_gen = 0;
   std::vector<ult::Thread*> quiescence_waiters;
+  PeCounters counters;
+  MsgPool pool;
+  int inline_depth = 0;
+
+  ~Pe() {
+    while (Message* m = queue.try_pop()) delete m;
+    while (legacy_queue.try_pop()) {
+    }
+    for (Message* m : pool.cache) delete m;
+  }
 };
 
 struct MachineState {
   int npes = 0;
+  bool mutex_baseline = false;
+  std::size_t pool_cap = 4096;
   std::vector<std::unique_ptr<Pe>> pes;
   std::atomic<int> mains_finished{0};
   std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> sent{0};
-  std::atomic<std::uint64_t> delivered{0};
-  // Quiescence-detection bookkeeping. QD's own messages are excluded from
-  // the application counts via these counters.
-  std::atomic<std::uint64_t> qd_sent{0};
-  std::atomic<std::uint64_t> qd_delivered{0};
+  /// Sends from threads that are not PEs (rare; keeps the per-PE counters
+  /// single-writer).
+  alignas(64) std::atomic<std::uint64_t> external_sent{0};
   std::atomic<bool> qd_round_active{false};
   // PE0-only barrier bookkeeping (touched exclusively from PE0's loop).
   std::unordered_map<std::uint64_t, int> barrier_counts;
@@ -69,17 +111,53 @@ struct QdToken {
   void pup(pup::Er& p) { p | app_sent_at_start | hops | all_idle; }
 };
 
-std::uint64_t app_sent() {
-  return g_machine->sent.load() - g_machine->qd_sent.load();
+std::uint64_t total_sent() {
+  std::uint64_t n = g_machine->external_sent.load(std::memory_order_relaxed);
+  for (auto& pe : g_machine->pes)
+    n += pe->counters.sent.load(std::memory_order_relaxed);
+  return n;
 }
+
+std::uint64_t total_delivered() {
+  std::uint64_t n = 0;
+  for (auto& pe : g_machine->pes)
+    n += pe->counters.delivered.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t total_qd_sent() {
+  std::uint64_t n = 0;
+  for (auto& pe : g_machine->pes)
+    n += pe->counters.qd_sent.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t total_qd_delivered() {
+  std::uint64_t n = 0;
+  for (auto& pe : g_machine->pes)
+    n += pe->counters.qd_delivered.load(std::memory_order_relaxed);
+  return n;
+}
+
+/// Bump for single-writer per-PE counters: each counter is only ever
+/// written by its owning PE's kernel thread, so a plain load+store replaces
+/// the lock-prefixed RMW on the hot path. (The mutex_baseline path keeps
+/// fetch_add, matching the seed's behavior it stands in for.)
+void bump(std::atomic<std::uint64_t>& counter) {
+  counter.store(counter.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+std::uint64_t app_sent() { return total_sent() - total_qd_sent(); }
 std::uint64_t app_delivered() {
-  return g_machine->delivered.load() - g_machine->qd_delivered.load();
+  return total_delivered() - total_qd_delivered();
 }
 
 /// QD system send: counted separately so tokens don't disturb the counts
 /// they are observing.
 void qd_send(int pe, HandlerId handler, const std::vector<char>& payload) {
-  g_machine->qd_sent.fetch_add(1, std::memory_order_relaxed);
+  MFC_CHECK_MSG(t_pe != nullptr, "QD traffic originates on PEs");
+  bump(t_pe->counters.qd_sent);
   send(pe, handler, payload);
 }
 
@@ -89,14 +167,52 @@ void qd_start_round() {
   qd_send(0, h_qd_token, pup::to_bytes(token));
 }
 
-void dispatch(Message&& m) {
-  HandlerFn* fn = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(g_handler_mutex);
-    MFC_CHECK_MSG(m.handler < handler_table().size(), "unknown handler id");
-    fn = &handler_table()[m.handler];
+HandlerFn* handler_lookup(HandlerId id) {
+  MFC_CHECK_MSG(id < kMaxHandlers, "unknown handler id");
+  HandlerFn* fn = g_handler_slots[id].load(std::memory_order_acquire);
+  MFC_CHECK_MSG(fn != nullptr, "unknown handler id");
+  return fn;
+}
+
+void release_message(Message* m) {
+  if (m->pool_pe < 0 || t_pe == nullptr ||
+      t_pe->pool.cache.size() >= g_machine->pool_cap) {
+    delete m;
+    return;
   }
-  g_machine->delivered.fetch_add(1, std::memory_order_relaxed);
+  m->pool_pe = t_pe->id;
+  t_pe->pool.cache.push_back(m);
+}
+
+Message* pool_acquire(Pe* pe) {
+  MsgPool& pool = pe->pool;
+  if (!pool.cache.empty()) {
+    Message* m = pool.cache.back();
+    pool.cache.pop_back();
+    return m;
+  }
+  auto* m = new Message();
+  m->pool_pe = pe->id;
+  return m;
+}
+
+/// Fast-path delivery: one acquire load for the handler, no lock.
+void dispatch(Message* m) {
+  HandlerFn* fn = handler_lookup(m->handler);
+  bump(t_pe->counters.delivered);
+  (*fn)(std::move(*m));
+  release_message(m);
+}
+
+/// mutex_baseline delivery: the seed's behavior — handler looked up under
+/// a global mutex, message passed by value.
+void dispatch_value(Message&& m) {
+  HandlerFn* fn;
+  {
+    std::lock_guard<std::mutex> lock(g_register_mutex);
+    fn = handler_lookup(m.handler);
+  }
+  t_pe->counters.delivered.fetch_add(1, std::memory_order_relaxed);
   (*fn)(std::move(m));
 }
 
@@ -109,23 +225,45 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
         entry(pe->id);
         if (g_machine->mains_finished.fetch_add(1) + 1 == g_machine->npes) {
           g_machine->stop.store(true);
-          for (auto& other : g_machine->pes) other->queue.wake();
+          for (auto& other : g_machine->pes) {
+            other->queue.wake();
+            other->legacy_queue.wake();
+          }
         }
       },
       512 * 1024);
   main_thread->set_delete_on_exit(true);
   pe->sched.ready(main_thread);
 
-  while (!g_machine->stop.load(std::memory_order_acquire)) {
-    bool progress = false;
-    while (auto m = pe->queue.try_pop()) {
-      dispatch(std::move(*m));
-      progress = true;
+  if (g_machine->mutex_baseline) {
+    while (!g_machine->stop.load(std::memory_order_acquire)) {
+      bool progress = false;
+      while (auto m = pe->legacy_queue.try_pop()) {
+        dispatch_value(std::move(*m));
+        progress = true;
+      }
+      if (pe->sched.run_one()) progress = true;
+      if (!progress) {
+        if (auto m = pe->legacy_queue.pop_wait()) dispatch_value(std::move(*m));
+      }
     }
-    if (pe->sched.run_one()) progress = true;
-    if (!progress) {
-      // Idle: block until a message arrives or shutdown wakes us.
-      if (auto m = pe->queue.pop_wait()) dispatch(std::move(*m));
+  } else {
+    while (!g_machine->stop.load(std::memory_order_acquire)) {
+      bool progress = false;
+      while (Message* m = pe->queue.try_pop()) {
+        dispatch(m);
+        progress = true;
+      }
+      if (pe->sched.run_one()) progress = true;
+      if (!progress) {
+        // Idle: bounded spin then park until a message arrives or shutdown
+        // wakes us. On delivery, re-enter the drain loop immediately — the
+        // batch behind this message is typically non-empty.
+        if (Message* m = pe->queue.pop_wait()) {
+          dispatch(m);
+          continue;
+        }
+      }
     }
   }
 
@@ -160,12 +298,12 @@ void register_builtin_handlers() {
     // visit AND the application send/deliver counts were equal and
     // unchanged across the whole round, the machine is quiet.
     h_qd_start = register_handler([](Message&&) {
-      g_machine->qd_delivered.fetch_add(1);
+      bump(t_pe->counters.qd_delivered);
       MFC_CHECK(t_pe->id == 0);
       if (!g_machine->qd_round_active.exchange(true)) qd_start_round();
     });
     h_qd_token = register_handler([](Message&& m) {
-      g_machine->qd_delivered.fetch_add(1);
+      bump(t_pe->counters.qd_delivered);
       auto token = m.as<QdToken>();
       Pe* pe = t_pe;
       if (token.hops == g_machine->npes) {
@@ -190,7 +328,7 @@ void register_builtin_handlers() {
               pup::to_bytes(token));
     });
     h_qd_release = register_handler([](Message&&) {
-      g_machine->qd_delivered.fetch_add(1);
+      bump(t_pe->counters.qd_delivered);
       Pe* pe = t_pe;
       for (ult::Thread* t : pe->quiescence_waiters) pe->sched.ready(t);
       pe->quiescence_waiters.clear();
@@ -201,9 +339,13 @@ void register_builtin_handlers() {
 }  // namespace
 
 HandlerId register_handler(HandlerFn fn) {
-  std::lock_guard<std::mutex> lock(g_handler_mutex);
-  handler_table().push_back(std::move(fn));
-  return static_cast<HandlerId>(handler_table().size() - 1);
+  std::lock_guard<std::mutex> lock(g_register_mutex);
+  const std::uint32_t id = g_handler_count.load(std::memory_order_relaxed);
+  MFC_CHECK_MSG(id < kMaxHandlers, "handler table full");
+  g_handler_slots[id].store(new HandlerFn(std::move(fn)),
+                            std::memory_order_release);
+  g_handler_count.store(id + 1, std::memory_order_relaxed);
+  return id;
 }
 
 void Machine::run(const Config& config, std::function<void(int)> entry) {
@@ -223,6 +365,8 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
 
   g_machine = new MachineState();
   g_machine->npes = config.npes;
+  g_machine->mutex_baseline = config.mutex_baseline;
+  g_machine->pool_cap = config.pool_cap;
   for (int i = 0; i < config.npes; ++i) {
     auto pe = std::make_unique<Pe>();
     pe->id = i;
@@ -254,20 +398,69 @@ int num_pes() {
 
 bool in_pe_context() { return t_pe != nullptr; }
 
-void send(int dest_pe, HandlerId handler, std::vector<char> payload) {
+namespace detail {
+
+Message* acquire_message(std::size_t payload_bytes) {
+  MFC_CHECK(g_machine != nullptr);
+  Message* m = (t_pe != nullptr && !g_machine->mutex_baseline)
+                   ? pool_acquire(t_pe)
+                   : new Message();
+  m->payload.resize(payload_bytes);
+  return m;
+}
+
+void send_message(int dest_pe, HandlerId handler, Message* m) {
   MFC_CHECK(g_machine != nullptr);
   MFC_CHECK(dest_pe >= 0 && dest_pe < g_machine->npes);
-  Message m;
-  m.handler = handler;
-  m.src_pe = t_pe ? t_pe->id : -1;
-  m.dest_pe = dest_pe;
-  m.payload = std::move(payload);
-  g_machine->sent.fetch_add(1, std::memory_order_relaxed);
-  g_machine->pes[static_cast<std::size_t>(dest_pe)]->queue.push(std::move(m));
+  m->handler = handler;
+  m->src_pe = t_pe != nullptr ? t_pe->id : -1;
+  m->dest_pe = dest_pe;
+  if (t_pe != nullptr) {
+    bump(t_pe->counters.sent);
+  } else {
+    g_machine->external_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  Pe& dest = *g_machine->pes[static_cast<std::size_t>(dest_pe)];
+
+  if (g_machine->mutex_baseline) {
+    dest.legacy_queue.push(std::move(*m));
+    release_message(m);
+    return;
+  }
+
+  // Self-send fast path: a send from handler/scheduler context (between
+  // scheduling quanta, not inside a ULT) to the calling PE delivers inline
+  // — no enqueue, no wake. Gated on an empty consumer queue so inline
+  // delivery cannot overtake messages already queued to this PE, and on a
+  // depth cap so chained self-sends cannot starve the scheduler loop.
+  Pe* self = t_pe;
+  if (self != nullptr && dest_pe == self->id && !self->sched.in_thread() &&
+      self->inline_depth < kMaxInlineDepth && self->queue.consumer_empty()) {
+    ++self->inline_depth;
+    dispatch(m);
+    --self->inline_depth;
+    return;
+  }
+  dest.queue.push(m);
+}
+
+}  // namespace detail
+
+void send(int dest_pe, HandlerId handler, std::vector<char> payload) {
+  Message* m = detail::acquire_message(0);
+  m->payload.adopt(std::move(payload));
+  detail::send_message(dest_pe, handler, m);
 }
 
 void broadcast(HandlerId handler, const std::vector<char>& payload) {
-  for (int pe = 0; pe < num_pes(); ++pe) send(pe, handler, payload);
+  const int n = num_pes();
+  for (int pe = 0; pe < n; ++pe) {
+    Message* m = detail::acquire_message(payload.size());
+    if (!payload.empty()) {
+      std::memcpy(m->payload.data(), payload.data(), payload.size());
+    }
+    detail::send_message(pe, handler, m);
+  }
 }
 
 void barrier() {
@@ -294,11 +487,11 @@ ult::Scheduler& pe_scheduler() {
 }
 
 std::uint64_t messages_sent() {
-  return g_machine ? g_machine->sent.load() : 0;
+  return g_machine != nullptr ? total_sent() : 0;
 }
 
 std::uint64_t messages_delivered() {
-  return g_machine ? g_machine->delivered.load() : 0;
+  return g_machine != nullptr ? total_delivered() : 0;
 }
 
 void wait_quiescence() {

@@ -12,9 +12,17 @@
 // block (barrier(), AMPI receives, …) while the PE keeps processing
 // messages — exactly the blocking-calls-over-scheduler structure the paper
 // describes for AMPI.
+//
+// The message path is lock-free end to end (see DESIGN.md "Messaging fast
+// path"): sends pack into pooled per-PE Message buffers, enqueue onto an
+// intrusive batched MPSC channel, and dispatch through an append-only atomic
+// handler table — no mutex is acquired anywhere on the hot path once the
+// machine is running. Self-sends issued from handler/scheduler context
+// deliver inline without touching the queue at all.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -26,11 +34,86 @@ namespace mfc::converse {
 
 using HandlerId = std::uint32_t;
 
+/// Message payload with a small-buffer fast path: payloads up to kInline
+/// bytes live inside the Message itself — envelope and data on adjacent
+/// cache lines, no separate heap allocation per message. Larger payloads
+/// spill to a heap vector whose capacity is recycled along with the pooled
+/// message. The wire format (size + raw bytes) matches the old
+/// std::vector<char> pup, so serialized messages are unchanged.
+class Payload {
+ public:
+  static constexpr std::size_t kInline = 64;
+
+  char* data() { return size_ <= kInline ? inline_ : heap_.data(); }
+  const char* data() const {
+    return size_ <= kInline ? inline_ : heap_.data();
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Contents are unspecified after growth; heap capacity is kept so a
+  /// recycled message's buffer is reused.
+  void resize(std::size_t n) {
+    if (n > kInline) heap_.resize(n);
+    size_ = n;
+  }
+
+  void assign(const void* src, std::size_t n) {
+    resize(n);
+    if (n != 0) std::memcpy(data(), src, n);
+  }
+
+  /// Takes ownership of a byte vector (large payloads move, no copy).
+  void adopt(std::vector<char> v) {
+    if (v.size() > kInline) {
+      size_ = v.size();
+      heap_ = std::move(v);
+    } else {
+      assign(v.data(), v.size());
+    }
+  }
+
+  /// Moves the bytes out as a vector (forwarding paths); empties this.
+  std::vector<char> take() {
+    std::vector<char> out;
+    if (size_ > kInline) {
+      heap_.resize(size_);
+      out = std::move(heap_);
+    } else {
+      out.assign(inline_, inline_ + size_);
+    }
+    size_ = 0;
+    return out;
+  }
+
+  void pup(pup::Er& p) {
+    std::size_t n = size_;
+    p.bytes(&n, sizeof n);
+    if (p.unpacking()) resize(n);
+    if (n != 0) p.bytes(data(), n);
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<char> heap_;
+  char inline_[kInline];
+};
+
 struct Message {
   HandlerId handler = 0;
   std::int32_t src_pe = -1;
   std::int32_t dest_pe = -1;
-  std::vector<char> payload;
+
+  // Runtime-internal plumbing (never serialized), kept in the envelope's
+  // first cache line ahead of the payload: the intrusive MPSC queue link —
+  // the queue's swap-and-reverse walks it, so it must not share a line with
+  // cold payload bytes — and whether a per-PE pool may recycle this
+  // allocation (-1 = plain heap; otherwise the id of the PE whose pool last
+  // held it — the consuming PE adopts it on release).
+  std::int32_t pool_pe = -1;
+  Message* next = nullptr;
+
+  Payload payload;
 
   void pup(pup::Er& p) { p | handler | src_pe | dest_pe | payload; }
 
@@ -42,6 +125,7 @@ struct Message {
     pup::pup(u, value);
     return value;
   }
+
 };
 
 /// Handlers run on the destination PE's scheduler context (not inside a
@@ -50,7 +134,10 @@ using HandlerFn = std::function<void(Message&&)>;
 
 /// Registers a handler. All PEs share the registry; handlers must be
 /// registered before Machine::run (or identically on every address space
-/// before the transport forks) so ids agree machine-wide.
+/// before the transport forks) so ids agree machine-wide. Registration
+/// while the machine runs is tolerated (the charm array layer registers
+/// lazily from entry functions): the table is append-only and dispatch
+/// reads it lock-free.
 HandlerId register_handler(HandlerFn fn);
 
 class Machine {
@@ -61,6 +148,16 @@ class Machine {
     /// (skipped if the region already exists or iso_slots_per_pe == 0).
     std::uint32_t iso_slots_per_pe = 2048;
     std::size_t iso_slot_bytes = 256 * 1024;
+    /// Per-PE message freelist capacity (messages kept for recycling;
+    /// excess frees on release). Raise it for workloads whose in-flight
+    /// message count exceeds the default, so steady-state sends stay
+    /// allocation-free.
+    std::size_t pool_cap = 4096;
+    /// Benchmark-only: route messaging through the pre-rewrite
+    /// mutex-per-message path (MutexMpscQueue + dispatch under a global
+    /// lock, no pooling, no self-send bypass) so bench_micro can report
+    /// the lock-free speedup from inside one binary.
+    bool mutex_baseline = false;
   };
 
   /// Boots the machine: spawns one kernel thread per PE, runs `entry(pe)`
@@ -78,9 +175,22 @@ bool in_pe_context();
 /// Sends an active message (payload is a PUP-able value).
 void send(int dest_pe, HandlerId handler, std::vector<char> payload);
 
+namespace detail {
+/// Pooled-message internals backing send_value/broadcast: acquires a
+/// message whose payload buffer is recycled from the calling PE's pool
+/// (sized to `payload_bytes`), and hands a filled message to the router.
+Message* acquire_message(std::size_t payload_bytes);
+void send_message(int dest_pe, HandlerId handler, Message* m);
+}  // namespace detail
+
+/// Packs `value` with one Sizer-measured pass directly into a pooled
+/// per-PE buffer — no intermediate std::vector allocation per send.
 template <typename T>
 void send_value(int dest_pe, HandlerId handler, const T& value) {
-  send(dest_pe, handler, pup::to_bytes(value));
+  Message* m = detail::acquire_message(pup::packed_size(value));
+  pup::MemPacker packer(m->payload.data(), m->payload.size());
+  pup::pup(packer, const_cast<T&>(value));
+  detail::send_message(dest_pe, handler, m);
 }
 
 /// Sends to every PE (including the caller).
@@ -98,7 +208,8 @@ void ready_thread(ult::Thread* t);
 /// The calling PE's user-level scheduler.
 ult::Scheduler& pe_scheduler();
 
-/// Statistics for benchmarks.
+/// Statistics for benchmarks (sums of per-PE counters; advisory while the
+/// machine is running).
 std::uint64_t messages_sent();
 std::uint64_t messages_delivered();
 

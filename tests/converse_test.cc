@@ -152,6 +152,53 @@ TEST(Converse, SinglePeMachineWorks) {
   EXPECT_EQ(ran, 1);
 }
 
+TEST(Converse, QuiescenceUnderMessageStorm) {
+  // Each seed message fans out two children per hop until its TTL expires —
+  // a storm whose in-flight population grows before it dies out, crossing
+  // every messaging path (remote sends, self-send fast path, pooled
+  // recycling). wait_quiescence() must not fire early: when it returns,
+  // every PE must observe the storm's exact final handler count. Runs in
+  // both machine modes so the lock-free path and the mutex baseline honor
+  // the same QD semantics.
+  struct Hop {
+    std::int32_t ttl = 0;
+    void pup(mfc::pup::Er& p) { p | ttl; }
+  };
+  static std::atomic<long> storm_hits{0};
+  static cv::HandlerId h = cv::register_handler([](cv::Message&& m) {
+    auto hop = m.as<Hop>();
+    if (hop.ttl > 0) {
+      Hop child{hop.ttl - 1};
+      const int npes = cv::num_pes();
+      cv::send_value((cv::my_pe() + 1) % npes, h, child);
+      cv::send_value(cv::my_pe(), h, child);  // exercises the inline path
+    }
+    storm_hits.fetch_add(1, std::memory_order_relaxed);
+  });
+  constexpr int kNpes = 4;
+  constexpr int kSeeds = 4;
+  constexpr int kTtl = 6;
+  // Fan-out 2 per hop: one seed yields 2^(ttl+1) - 1 handler runs.
+  constexpr long kExpected =
+      static_cast<long>(kNpes) * kSeeds * ((1L << (kTtl + 1)) - 1);
+  for (bool baseline : {false, true}) {
+    storm_hits = 0;
+    cv::Machine::Config cfg;
+    cfg.npes = kNpes;
+    cfg.mutex_baseline = baseline;
+    cv::Machine::run(cfg, [&](int pe) {
+      for (int s = 0; s < kSeeds; ++s) {
+        Hop seed{kTtl};
+        cv::send_value((pe + s) % kNpes, h, seed);
+      }
+      cv::wait_quiescence();
+      EXPECT_EQ(storm_hits.load(), kExpected)
+          << (baseline ? "mutex_baseline" : "lockfree");
+    });
+    EXPECT_EQ(storm_hits.load(), kExpected);
+  }
+}
+
 TEST(Converse, MachineRunsBackToBack) {
   for (int round = 0; round < 3; ++round) {
     std::atomic<int> entries{0};

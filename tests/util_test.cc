@@ -104,6 +104,97 @@ TEST(Queue, WakeUnblocksWithoutData) {
   waker.join();
 }
 
+// Every MPSC consumer in the machine layer relies on per-producer FIFO:
+// messages from one PE must arrive in the order that PE sent them, even
+// while other producers interleave. Encode each item as (producer, seq) and
+// assert each producer's sequence numbers arrive strictly ascending.
+TEST(Queue, MultiProducerStressPerProducerFifo) {
+  mfc::MpscQueue<int> q;
+  constexpr int kProducers = 8;
+  constexpr int kEach = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kEach; ++i) q.push(p * kEach + i);
+    });
+  }
+  std::vector<int> next_seq(kProducers, 0);
+  int got = 0;
+  while (got < kProducers * kEach) {
+    auto v = q.pop_wait();
+    if (!v) continue;
+    const int p = *v / kEach;
+    const int seq = *v % kEach;
+    ASSERT_EQ(seq, next_seq[static_cast<std::size_t>(p)])
+        << "producer " << p << " reordered";
+    ++next_seq[static_cast<std::size_t>(p)];
+    ++got;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.empty());
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kEach);
+}
+
+namespace {
+struct LinkedItem {
+  int producer = 0;
+  int seq = 0;
+  LinkedItem* next = nullptr;
+};
+}  // namespace
+
+TEST(IntrusiveChannel, MultiProducerStressPerProducerFifo) {
+  mfc::IntrusiveMpscChannel<LinkedItem> q;
+  constexpr int kProducers = 8;
+  constexpr int kEach = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kEach; ++i) q.push(new LinkedItem{p, i});
+    });
+  }
+  std::vector<int> next_seq(kProducers, 0);
+  int got = 0;
+  while (got < kProducers * kEach) {
+    LinkedItem* item = q.pop_wait();
+    if (item == nullptr) continue;
+    ASSERT_EQ(item->seq, next_seq[static_cast<std::size_t>(item->producer)])
+        << "producer " << item->producer << " reordered";
+    ++next_seq[static_cast<std::size_t>(item->producer)];
+    ++got;
+    delete item;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.consumer_empty());
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kEach);
+}
+
+TEST(IntrusiveChannel, ConsumerEmptyTracksBatchAndInbox) {
+  mfc::IntrusiveMpscChannel<LinkedItem> q;
+  EXPECT_TRUE(q.consumer_empty());
+  q.push(new LinkedItem{0, 0});
+  q.push(new LinkedItem{0, 1});
+  EXPECT_FALSE(q.consumer_empty());  // inbox non-empty
+  LinkedItem* a = q.try_pop();       // drains inbox into the private batch
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->seq, 0);
+  EXPECT_FALSE(q.consumer_empty());  // batch still holds item 1
+  LinkedItem* b = q.try_pop();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->seq, 1);
+  EXPECT_TRUE(q.consumer_empty());
+  delete a;
+  delete b;
+}
+
+TEST(IntrusiveChannel, WakeUnblocksWithoutData) {
+  mfc::IntrusiveMpscChannel<LinkedItem> q;
+  std::thread waker([&q] { q.wake(); });
+  LinkedItem* item = q.pop_wait();  // must not hang
+  EXPECT_EQ(item, nullptr);
+  waker.join();
+}
+
 TEST(SysInfo, ReportsSaneValues) {
   const auto info = mfc::query_sysinfo();
   EXPECT_FALSE(info.arch.empty());
