@@ -6,7 +6,7 @@
 #include "util/check.h"
 
 #if !defined(__x86_64__)
-#error "mfc/arch: only x86-64 System V is implemented (see DESIGN.md §5)"
+#error "mfc/arch: only x86-64 System V is implemented (see DESIGN.md §6)"
 #endif
 
 // ThreadSanitizer cannot follow a raw assembly stack switch: without help it

@@ -1,0 +1,243 @@
+#include "chaos/proc_transport.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "chaos/chaos.h"
+#include "util/check.h"
+
+namespace mfc::chaos {
+
+namespace {
+
+// Wire frame: [len:u64][die_after:u64][payload:len]. The relay echoes the
+// payload back, but at most `die_after` bytes — then it drains the rest of
+// the input (so the parent's writes never hit EPIPE mid-frame) and _exits,
+// modeling a transport process dying with a migration half-shipped.
+constexpr std::uint64_t kNoDeath = ~0ULL;
+constexpr int kDeathExit = 37;
+
+void store_u64(unsigned char* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// ---- Child side: async-signal-safe only (the parent is multithreaded,
+// so the child may hold arbitrary lock states in its heap — it must never
+// malloc, lock, or call into the runtime between fork and _exit).
+
+bool read_full(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    ssize_t r = read(fd, p, n);
+    if (r == 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    ssize_t w = write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+[[noreturn]] void relay_child(int rfd, int wfd) {
+  char buf[64 * 1024];
+  for (;;) {
+    unsigned char hdr[16];
+    if (!read_full(rfd, hdr, sizeof hdr)) _exit(0);  // parent closed: done
+    const std::uint64_t len = load_u64(hdr);
+    const std::uint64_t die_after = load_u64(hdr + 8);
+    std::uint64_t consumed = 0;
+    std::uint64_t echoed = 0;
+    while (consumed < len) {
+      const std::size_t want = len - consumed < sizeof buf
+                                   ? static_cast<std::size_t>(len - consumed)
+                                   : sizeof buf;
+      ssize_t r = read(rfd, buf, want);
+      if (r <= 0) {
+        if (r < 0 && errno == EINTR) continue;
+        _exit(1);
+      }
+      consumed += static_cast<std::uint64_t>(r);
+      std::uint64_t can = 0;
+      if (echoed < die_after) {
+        can = die_after - echoed;
+        if (can > static_cast<std::uint64_t>(r)) {
+          can = static_cast<std::uint64_t>(r);
+        }
+      }
+      if (can > 0 &&
+          !write_full(wfd, buf, static_cast<std::size_t>(can))) {
+        _exit(1);
+      }
+      echoed += can;
+    }
+    if (die_after < len) _exit(kDeathExit);  // injected mid-shipment death
+  }
+}
+
+// ---- Parent side ----
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  MFC_CHECK(flags >= 0);
+  MFC_CHECK(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+/// A dead relay turns parent writes into EPIPE; we want the error code, not
+/// the default fatal SIGPIPE.
+void ignore_sigpipe_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace
+
+ProcTransport::ProcTransport() {
+  ignore_sigpipe_once();
+  spawn();
+}
+
+ProcTransport::~ProcTransport() { reap(); }
+
+void ProcTransport::spawn() {
+  int to_child[2];
+  int from_child[2];
+  MFC_CHECK(pipe(to_child) == 0);
+  MFC_CHECK(pipe(from_child) == 0);
+  int pid = fork();
+  MFC_CHECK_MSG(pid >= 0, "proc transport fork failed");
+  if (pid == 0) {
+    close(to_child[1]);
+    close(from_child[0]);
+    relay_child(to_child[0], from_child[1]);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  to_child_ = to_child[1];
+  from_child_ = from_child[0];
+  child_pid_ = pid;
+  // The parent interleaves writes and reads from one thread (the pipes are
+  // smaller than a thread image, so blocking I/O would deadlock against the
+  // echo); nonblocking fds + poll keep both directions moving.
+  set_nonblocking(to_child_);
+  set_nonblocking(from_child_);
+}
+
+void ProcTransport::reap() {
+  if (child_pid_ < 0) return;
+  close(to_child_);    // EOF on the relay's header read → clean _exit(0)
+  close(from_child_);
+  int status = 0;
+  waitpid(child_pid_, &status, 0);
+  to_child_ = -1;
+  from_child_ = -1;
+  child_pid_ = -1;
+}
+
+bool ProcTransport::attempt(const std::vector<char>& bytes,
+                            std::uint64_t die_after,
+                            std::vector<char>* out) {
+  std::vector<char> tx(16 + bytes.size());
+  store_u64(reinterpret_cast<unsigned char*>(tx.data()), bytes.size());
+  store_u64(reinterpret_cast<unsigned char*>(tx.data()) + 8, die_after);
+  if (!bytes.empty()) std::memcpy(tx.data() + 16, bytes.data(), bytes.size());
+
+  std::size_t txoff = 0;
+  out->clear();
+  out->reserve(bytes.size());
+  char buf[64 * 1024];
+  while (out->size() < bytes.size() || txoff < tx.size()) {
+    struct pollfd fds[2];
+    int n = 0;
+    int wi = -1;
+    if (txoff < tx.size()) {
+      fds[n] = {to_child_, POLLOUT, 0};
+      wi = n++;
+    }
+    const int ri = n;
+    fds[n++] = {from_child_, POLLIN, 0};
+    int pr = poll(fds, static_cast<nfds_t>(n), 10000);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    MFC_CHECK_MSG(pr > 0, "proc transport stalled (relay wedged?)");
+    if (wi >= 0 && (fds[wi].revents & (POLLOUT | POLLERR)) != 0) {
+      ssize_t w = write(to_child_, tx.data() + txoff, tx.size() - txoff);
+      if (w > 0) {
+        txoff += static_cast<std::size_t>(w);
+      } else if (w < 0 && errno != EAGAIN && errno != EINTR) {
+        return false;  // EPIPE: relay died under us
+      }
+    }
+    if ((fds[ri].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      ssize_t r = read(from_child_, buf, sizeof buf);
+      if (r > 0) {
+        out->insert(out->end(), buf, buf + r);
+      } else if (r == 0) {
+        return out->size() == bytes.size();  // EOF: full echo or truncation
+      } else if (errno != EAGAIN && errno != EINTR) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<char> ProcTransport::roundtrip(const std::vector<char>& bytes,
+                                           std::uint64_t key) {
+  const int max_kills =
+      enabled() && !bytes.empty() ? config().max_transport_kills : 0;
+  int kills = 0;
+  for (int tries = 0;; ++tries) {
+    MFC_CHECK_MSG(tries < max_kills + 3,
+                  "proc transport kept failing without injected kills");
+    // Decide this attempt's fate purely from (seed, shipment key, attempt
+    // number) so the kill/respawn pattern replays bit-identically.
+    std::uint64_t die_after = kNoDeath;
+    if (kills < max_kills) {
+      const std::uint64_t akey =
+          key ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(kills + 1));
+      if (keyed_inject(Point::kTransportKill, akey)) {
+        die_after = keyed_draw(Point::kTransportKill, akey, bytes.size());
+      }
+    }
+    std::vector<char> out;
+    if (attempt(bytes, die_after, &out)) return out;
+    // The relay died mid-shipment (injected or real): reap the corpse,
+    // respawn a fresh relay, retry the whole image.
+    reap();
+    spawn();
+    ++respawns_;
+    if (die_after != kNoDeath) ++kills;
+  }
+}
+
+}  // namespace mfc::chaos

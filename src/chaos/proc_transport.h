@@ -1,0 +1,59 @@
+// Forked-process relay transport for migration payloads, with a chaos mode
+// that kills the relay mid-shipment.
+//
+// The paper's machine layer is designed so PEs could live in different
+// address spaces; a migration then crosses a real process boundary and the
+// transport can die with bytes half-shipped. This transport makes that
+// failure injectable and *recoverable*: a thread image is round-tripped
+// through a forked child over pipes, and the chaos layer (keyed by a
+// caller-supplied shipment id, so the kill pattern replays bit-identically
+// from MFC_CHAOS_SEED) makes the child _exit mid-stream. The parent detects
+// the truncated stream, reaps the corpse, respawns a fresh relay, and
+// retries — bounded by Config::max_transport_kills, after which the attempt
+// is forced clean.
+//
+// The parent is multithreaded (PE kernel threads), so the child executes
+// only async-signal-safe calls between fork and _exit: read/write/close.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mfc::chaos {
+
+class ProcTransport {
+ public:
+  /// Forks the initial relay child. The transport is single-user: one
+  /// shipment at a time (the storm driver serializes on it).
+  ProcTransport();
+  /// Reaps the current relay.
+  ~ProcTransport();
+
+  ProcTransport(const ProcTransport&) = delete;
+  ProcTransport& operator=(const ProcTransport&) = delete;
+
+  /// Ships `bytes` to the relay process and reads them back, retrying
+  /// through injected relay deaths (Point::kTransportKill keyed by `key`).
+  /// Returns the echoed bytes; aborts on a non-chaos transport failure.
+  std::vector<char> roundtrip(const std::vector<char>& bytes,
+                              std::uint64_t key);
+
+  /// Relay processes killed (by chaos) and respawned so far.
+  std::uint64_t respawns() const { return respawns_; }
+
+ private:
+  void spawn();
+  void reap();
+  /// One shipment attempt; false when the stream came back short (relay
+  /// died mid-stream) and the caller should respawn + retry.
+  bool attempt(const std::vector<char>& bytes, std::uint64_t die_after,
+               std::vector<char>* out);
+
+  int to_child_ = -1;    ///< parent write end
+  int from_child_ = -1;  ///< parent read end
+  int child_pid_ = -1;
+  std::uint64_t respawns_ = 0;
+};
+
+}  // namespace mfc::chaos

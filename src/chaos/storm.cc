@@ -1,0 +1,613 @@
+#include "chaos/storm.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/proc_transport.h"
+#include "charm/array.h"
+#include "converse/machine.h"
+#include "iso/heap.h"
+#include "iso/region.h"
+#include "migrate/iso_thread.h"
+#include "migrate/memalias_thread.h"
+#include "migrate/stackcopy_thread.h"
+#include "pup/pup.h"
+#include "ult/scheduler.h"
+#include "util/check.h"
+#include "util/digest.h"
+#include "util/rng.h"
+
+namespace mfc::chaos {
+namespace {
+
+constexpr int kArrayId = 9100;
+constexpr int kTagPing = 1;
+constexpr int kTagHop = 2;
+constexpr std::size_t kCanaryBytes = 192;
+
+// Seed-derivation salts (domain separation between the independent streams
+// a storm draws from one seed).
+constexpr std::uint64_t kItinSalt = 0x61f3a2c8d94be071ULL;
+constexpr std::uint64_t kStackSalt = 0x8d1a9f30c27e5b44ULL;
+constexpr std::uint64_t kHeapSalt = 0x2be4c6d8f0a19375ULL;
+constexpr std::uint64_t kShipSalt = 0xa7c41d92e85f3b06ULL;
+constexpr std::uint64_t kTrafficSalt = 0x54e8b16f9d03ca27ULL;
+
+bool trace_on() {
+  static const bool on = ::getenv("MFC_STORM_TRACE") != nullptr;
+  return on;
+}
+#define STORM_TRACE(...) \
+  do { if (trace_on()) { std::fprintf(stderr, __VA_ARGS__); std::fputc('\n', stderr); } } while (0)
+
+std::uint64_t mix2(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 r(a ^ (b + 0x9e3779b97f4a7c15ULL));
+  return r.next();
+}
+
+void fill_pattern(unsigned char* p, std::size_t n, std::uint64_t key) {
+  SplitMix64 r(key);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<unsigned char>(r.next());
+  }
+}
+
+bool check_pattern(const unsigned char* p, std::size_t n, std::uint64_t key) {
+  SplitMix64 r(key);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] != static_cast<unsigned char>(r.next())) return false;
+  }
+  return true;
+}
+
+/// Key for the canary pattern worker `wid` writes before its round-`r`
+/// migration (verified on arrival; r == 0 is the pre-first-hop pattern).
+std::uint64_t pat_key(std::uint64_t seed, int wid, int r, std::uint64_t salt) {
+  return mix2(seed ^ salt, static_cast<std::uint64_t>(wid) * 1000003ULL +
+                               static_cast<std::uint64_t>(r));
+}
+
+struct Ping {
+  std::int32_t ttl = 0;
+  std::uint64_t value = 0;
+  void pup(pup::Er& p) { p | ttl | value; }
+};
+
+struct DockMsg {
+  std::int32_t wid = 0;
+  std::int32_t round = 0;
+  void pup(pup::Er& p) { p | wid | round; }
+};
+
+struct ShipMsg {
+  std::int32_t wid = 0;
+  std::int32_t round = 0;
+  std::uint64_t digest = 0;  ///< FNV-1a of `wire` at pack time
+  std::vector<char> wire;    ///< serialized ThreadImage
+  void pup(pup::Er& p) { p | wid | round | digest | wire; }
+};
+
+struct WorkerSlot {
+  /// The worker's current Thread object; owned and touched only by the PE
+  /// it currently resides on (the mutex covers the pointer handoff).
+  migrate::MigratableThread* thread = nullptr;
+  std::uint64_t digest = kFnvOffset;  ///< published by the worker per round
+};
+
+struct StormGlobal {
+  StormOptions opt;
+  std::vector<std::vector<int>> itinerary;  // [worker][round] → dest PE
+
+  std::mutex mu;  // workers / by_thread_id / arrived handoffs
+  std::vector<WorkerSlot> workers;
+  std::unordered_map<std::uint64_t, int> by_thread_id;  // Thread::id → wid
+  /// Per-PE arrivals parked until that round's release. Tagged with the
+  /// round because a chaos-delayed release broadcast from round r can land
+  /// on a PE after round r+1 workers already arrived there — an untagged
+  /// release would ready them a round early and wreck the arrival counts.
+  struct Arrival {
+    ult::Thread* thread;
+    std::int32_t round;
+  };
+  std::unordered_map<int, std::vector<Arrival>> arrived;  // per PE
+  std::vector<ult::Thread*> mains;  // non-PE0 mains parked until alldone
+
+  ProcTransport* transport = nullptr;
+  std::mutex transport_mu;  // the relay handles one shipment at a time
+
+  // PE0-only protocol state (PE0 kernel thread: its handlers + main ULT).
+  int arrivals = 0;
+  int done_workers = 0;
+  enum class Waiting { kNone, kArrivals, kDone } waiting = Waiting::kNone;
+  ult::Thread* checker = nullptr;
+  std::uint64_t slots_prestorm = 0;
+
+  std::atomic<std::uint64_t> array_sent{0};
+  std::atomic<std::uint64_t> array_delivered{0};
+  std::atomic<std::uint64_t> element_migrations{0};
+  std::atomic<std::uint64_t> thread_migrations{0};
+  std::atomic<std::uint64_t> wire_bytes{0};
+  std::atomic<std::uint64_t> canary_failures{0};
+  std::atomic<std::uint64_t> digest_mismatches{0};
+  std::atomic<std::uint64_t> misroutes{0};
+  std::atomic<std::uint64_t> counter_failures{0};
+
+  StormReport report;  // finalized by PE0's checker, returned by run_storm
+};
+
+StormGlobal* g_storm = nullptr;
+
+converse::HandlerId h_dock, h_ship, h_arrived, h_release, h_worker_done,
+    h_alldone;
+
+std::uint64_t total_used_slots(int npes) {
+  std::uint64_t used = 0;
+  for (int pe = 0; pe < npes; ++pe) {
+    used += iso::Region::instance().used_slots(pe);
+  }
+  return used;
+}
+
+// ---- Worker -----------------------------------------------------------------
+
+/// Worker body. Runs as a migratable thread, so: no reliance on the Thread
+/// object it started on (packing deletes it), identity via Thread::id()
+/// (preserved across unpack), and all cross-round state in stack locals —
+/// which is exactly what the migration techniques promise to carry.
+void worker_body() {
+  StormGlobal* g = g_storm;
+  const StormOptions& opt = g->opt;
+  int wid;
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    wid = g->by_thread_id.at(converse::pe_scheduler().running()->id());
+  }
+  const bool is_iso = wid % 3 == 1;
+
+  // Stack canary: a keyed byte pattern rewritten before every hop and
+  // verified after — plus the address-stability probe, the paper's central
+  // guarantee ("exactly the same address on the new processor").
+  unsigned char canary[kCanaryBytes];
+  const auto canary_addr = reinterpret_cast<std::uintptr_t>(&canary[0]);
+  fill_pattern(canary, sizeof canary, pat_key(opt.seed, wid, 0, kStackSalt));
+
+  // Heap canary (isomalloc workers only: their routed allocations live in
+  // slot memory and must migrate byte-exact; the other techniques migrate
+  // stacks only).
+  unsigned char* heap_canary = nullptr;
+  if (is_iso) {
+    heap_canary = static_cast<unsigned char*>(iso::routed_malloc(kCanaryBytes));
+    fill_pattern(heap_canary, kCanaryBytes,
+                 pat_key(opt.seed, wid, 0, kHeapSalt));
+  }
+
+  std::uint64_t digest = kFnvOffset;
+  for (int r = 0; r < opt.rounds; ++r) {
+    const int dest = g->itinerary[static_cast<std::size_t>(wid)]
+                                 [static_cast<std::size_t>(r)];
+    digest = fnv1a_mix(digest, static_cast<std::uint64_t>(wid));
+    digest = fnv1a_mix(digest, static_cast<std::uint64_t>(r));
+    digest = fnv1a_mix(digest, static_cast<std::uint64_t>(dest));
+    {
+      std::lock_guard<std::mutex> lock(g->mu);
+      g->workers[static_cast<std::size_t>(wid)].digest = digest;
+    }
+
+    // Dock: the handler runs on this PE only after we suspend, so it packs
+    // a thread that is guaranteed to be in kSuspended state.
+    converse::send_value(converse::my_pe(), h_dock, DockMsg{wid, r});
+    ult::suspend();
+
+    // Awake again — on the destination PE, readied by the round release.
+    if (converse::my_pe() != dest) {
+      g->misroutes.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (reinterpret_cast<std::uintptr_t>(&canary[0]) != canary_addr ||
+        !check_pattern(canary, sizeof canary,
+                       pat_key(opt.seed, wid, r, kStackSalt))) {
+      g->canary_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (heap_canary != nullptr &&
+        !check_pattern(heap_canary, kCanaryBytes,
+                       pat_key(opt.seed, wid, r, kHeapSalt))) {
+      g->canary_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    fill_pattern(canary, sizeof canary,
+                 pat_key(opt.seed, wid, r + 1, kStackSalt));
+    if (heap_canary != nullptr) {
+      fill_pattern(heap_canary, kCanaryBytes,
+                   pat_key(opt.seed, wid, r + 1, kHeapSalt));
+    }
+  }
+
+  if (heap_canary != nullptr) iso::routed_free(heap_canary);
+  converse::send_value(0, h_worker_done, std::int32_t{wid});
+}
+
+migrate::MigratableThread* make_worker(int wid, int pe,
+                                       const StormOptions& opt) {
+  switch (wid % 3) {
+    case 0:
+      return new migrate::StackCopyThread(worker_body, opt.stack_bytes);
+    case 1:
+      return new migrate::IsoThread(worker_body, pe, opt.stack_bytes);
+    default:
+      return new migrate::MemAliasThread(worker_body, opt.stack_bytes);
+  }
+}
+
+// ---- Array element ----------------------------------------------------------
+
+struct StormElement final : charm::Element {
+  std::uint64_t acc = 0;   ///< folded ping values (migrates with the element)
+  std::uint64_t hits = 0;
+
+  void on_message(int tag, std::vector<char> payload) override {
+    StormGlobal* g = g_storm;
+    g->array_delivered.fetch_add(1, std::memory_order_relaxed);
+    charm::ArrayBase* a = charm::find_array(array_id());
+    if (tag == kTagPing) {
+      Ping p;
+      pup::from_bytes(payload, p);
+      acc = fnv1a_mix(acc, p.value);
+      ++hits;
+      if (p.ttl > 0) {
+        Ping next{p.ttl - 1, p.value * 0x9e3779b97f4a7c15ULL + 1};
+        g->array_sent.fetch_add(1, std::memory_order_relaxed);
+        a->send((index() + 1) % a->count(), kTagPing, pup::to_bytes(next));
+      }
+    } else if (tag == kTagHop) {
+      std::int32_t dest = 0;
+      pup::from_bytes(payload, dest);
+      g->element_migrations.fetch_add(1, std::memory_order_relaxed);
+      a->migrate(index(), dest);  // self-migration mid-storm
+    }
+  }
+
+  void pup(pup::Er& p) override { p | acc | hits; }
+};
+
+// ---- Handlers ---------------------------------------------------------------
+
+/// PE0: wake the parked checker when the count it waits for is complete.
+void pe0_maybe_wake() {
+  StormGlobal* g = g_storm;
+  if (g->checker == nullptr) return;
+  const bool complete =
+      (g->waiting == StormGlobal::Waiting::kArrivals &&
+       g->arrivals >= g->opt.workers) ||
+      (g->waiting == StormGlobal::Waiting::kDone &&
+       g->done_workers >= g->opt.workers);
+  if (!complete) return;
+  ult::Thread* t = g->checker;
+  g->checker = nullptr;
+  g->waiting = StormGlobal::Waiting::kNone;
+  converse::ready_thread(t);
+}
+
+/// PE0 checker: park until `counter` reaches the worker count.
+void pe0_wait(StormGlobal::Waiting kind) {
+  StormGlobal* g = g_storm;
+  const int target = g->opt.workers;
+  for (;;) {
+    const int current = kind == StormGlobal::Waiting::kArrivals
+                            ? g->arrivals
+                            : g->done_workers;
+    if (current >= target) return;
+    g->waiting = kind;
+    g->checker = converse::pe_scheduler().running();
+    ult::suspend();
+  }
+}
+
+void handle_dock(converse::Message&& m) {
+  StormGlobal* g = g_storm;
+  const auto d = m.as<DockMsg>();
+  STORM_TRACE("dock: wid %d round %d on pe %d", d.wid, d.round, converse::my_pe());
+  migrate::MigratableThread* t;
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    WorkerSlot& slot = g->workers[static_cast<std::size_t>(d.wid)];
+    t = slot.thread;
+    slot.thread = nullptr;
+  }
+  MFC_CHECK_MSG(t != nullptr && t->state() == ult::State::kSuspended,
+                "storm: dock for a worker that is not suspended here");
+
+  migrate::ThreadImage image = t->pack();
+  delete t;  // pack() consumed it; only the image represents the worker now
+
+  ShipMsg ship;
+  ship.wid = d.wid;
+  ship.round = d.round;
+  ship.wire = pup::to_bytes(image);
+  ship.digest = fnv1a(ship.wire.data(), ship.wire.size());
+  g->wire_bytes.fetch_add(ship.wire.size(), std::memory_order_relaxed);
+
+  if (g->transport != nullptr) {
+    // Cross a real process boundary (and survive injected relay deaths,
+    // keyed by (worker, round) so the kill pattern replays).
+    const std::uint64_t key =
+        mix2(g->opt.seed ^ kShipSalt,
+             static_cast<std::uint64_t>(d.wid) * 1000003ULL +
+                 static_cast<std::uint64_t>(d.round));
+    std::lock_guard<std::mutex> lock(g->transport_mu);
+    std::vector<char> echoed = g->transport->roundtrip(ship.wire, key);
+    if (echoed.size() != ship.wire.size() ||
+        fnv1a(echoed.data(), echoed.size()) != ship.digest) {
+      g->digest_mismatches.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ship.wire = std::move(echoed);
+    }
+  }
+
+  g->thread_migrations.fetch_add(1, std::memory_order_relaxed);
+  converse::send_value(g->itinerary[static_cast<std::size_t>(d.wid)]
+                                   [static_cast<std::size_t>(d.round)],
+                       h_ship, ship);
+}
+
+void handle_ship(converse::Message&& m) {
+  StormGlobal* g = g_storm;
+  auto ship = m.as<ShipMsg>();
+  // Transit integrity: the bytes that left the source arrived unchanged.
+  if (fnv1a(ship.wire.data(), ship.wire.size()) != ship.digest) {
+    g->digest_mismatches.fetch_add(1, std::memory_order_relaxed);
+  }
+  migrate::ThreadImage image;
+  pup::from_bytes(ship.wire, image);
+  // PUP round-trip bit-identity: unpack → repack reproduces the wire.
+  const std::vector<char> rewire = pup::to_bytes(image);
+  if (rewire.size() != ship.wire.size() ||
+      fnv1a(rewire.data(), rewire.size()) != ship.digest) {
+    g->digest_mismatches.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  auto* t = migrate::MigratableThread::unpack(std::move(image),
+                                              converse::my_pe());
+  t->set_delete_on_exit(true);
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    g->workers[static_cast<std::size_t>(ship.wid)].thread = t;
+    g->arrived[converse::my_pe()].push_back({t, ship.round});
+  }
+  // Not readied yet: the round barrier (h_release) wakes all arrivals at
+  // once, after the PE0 checker has run the invariant sweep.
+  STORM_TRACE("ship: wid %d arrived on pe %d", ship.wid, converse::my_pe());
+  converse::send_value(0, h_arrived, std::int32_t{ship.wid});
+}
+
+void handle_arrived(converse::Message&&) {
+  ++g_storm->arrivals;
+  pe0_maybe_wake();
+}
+
+void handle_release(converse::Message&& m) {
+  StormGlobal* g = g_storm;
+  const auto round = m.as<std::int32_t>();
+  // Ready only this round's arrivals: later-round workers may already be
+  // parked here while this (delay-stashed) release was in flight.
+  std::vector<ult::Thread*> batch;
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    auto& parked = g->arrived[converse::my_pe()];
+    for (std::size_t i = 0; i < parked.size();) {
+      if (parked[i].round == round) {
+        batch.push_back(parked[i].thread);
+        parked.erase(parked.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (ult::Thread* t : batch) converse::ready_thread(t);
+}
+
+void handle_worker_done(converse::Message&&) {
+  ++g_storm->done_workers;
+  pe0_maybe_wake();
+}
+
+void handle_alldone(converse::Message&&) {
+  StormGlobal* g = g_storm;
+  ult::Thread* main = g->mains[static_cast<std::size_t>(converse::my_pe())];
+  if (main != nullptr) {
+    g->mains[static_cast<std::size_t>(converse::my_pe())] = nullptr;
+    converse::ready_thread(main);
+  }
+}
+
+void register_storm_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    h_dock = converse::register_handler(handle_dock);
+    h_ship = converse::register_handler(handle_ship);
+    h_arrived = converse::register_handler(handle_arrived);
+    h_release = converse::register_handler(handle_release);
+    h_worker_done = converse::register_handler(handle_worker_done);
+    h_alldone = converse::register_handler(handle_alldone);
+  });
+}
+
+// ---- PE0 checker ------------------------------------------------------------
+
+void checker_main(charm::ArrayBase* array) {
+  StormGlobal* g = g_storm;
+  const StormOptions& opt = g->opt;
+  SplitMix64 traffic(mix2(opt.seed, kTrafficSalt));
+  std::uint64_t slots_in_flight = 0;  // stable-slot baseline, set at round 0
+
+  for (int r = 0; r < opt.rounds; ++r) {
+    STORM_TRACE("checker: round %d wait arrivals (have %d)", r, g->arrivals);
+    pe0_wait(StormGlobal::Waiting::kArrivals);
+    STORM_TRACE("checker: round %d arrivals complete, QD1", r);
+    converse::wait_quiescence();
+    STORM_TRACE("checker: round %d QD1 done", r);
+
+    // Invariant: isomalloc slot usage is stable across rounds — workers
+    // keep their slots for life; migration moves bytes, never identity.
+    const std::uint64_t used = total_used_slots(opt.npes);
+    if (r == 0) {
+      slots_in_flight = used;
+    } else if (used != slots_in_flight) {
+      STORM_TRACE("checker: round %d slot drift: used %llu baseline %llu", r,
+                  (unsigned long long)used,
+                  (unsigned long long)slots_in_flight);
+      g->counter_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Background chare-array traffic: ttl-forwarded pings plus (optionally)
+    // element self-migration, all drawn from the storm's own seeded stream.
+    for (int k = 0; k < opt.array_pings; ++k) {
+      const int target =
+          static_cast<int>(traffic.next_below(
+              static_cast<std::uint64_t>(opt.array_elements)));
+      Ping p{opt.ping_ttl, traffic.next()};
+      g->array_sent.fetch_add(1, std::memory_order_relaxed);
+      array->send(target, kTagPing, pup::to_bytes(p));
+    }
+    if (opt.element_migration && opt.array_elements > 0) {
+      const int victim =
+          static_cast<int>(traffic.next_below(
+              static_cast<std::uint64_t>(opt.array_elements)));
+      const auto dest = static_cast<std::int32_t>(
+          traffic.next_below(static_cast<std::uint64_t>(opt.npes)));
+      g->array_sent.fetch_add(1, std::memory_order_relaxed);
+      array->send(victim, kTagHop, pup::to_bytes(dest));
+    }
+    STORM_TRACE("checker: round %d QD2", r);
+    converse::wait_quiescence();
+    STORM_TRACE("checker: round %d QD2 done", r);
+
+    // Invariant: under quiescence every array message sent was delivered.
+    if (g->array_sent.load(std::memory_order_relaxed) !=
+        g->array_delivered.load(std::memory_order_relaxed)) {
+      STORM_TRACE("checker: round %d ping imbalance: sent %llu delivered %llu",
+                  r,
+                  (unsigned long long)g->array_sent.load(),
+                  (unsigned long long)g->array_delivered.load());
+      g->counter_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    g->arrivals = 0;
+    STORM_TRACE("checker: round %d release", r);
+    converse::broadcast(h_release, pup::to_bytes(std::int32_t{r}));
+  }
+
+  STORM_TRACE("checker: wait done (have %d)", g->done_workers);
+  pe0_wait(StormGlobal::Waiting::kDone);
+  STORM_TRACE("checker: done, final QD");
+  // Workers have sent their done messages; quiescence additionally implies
+  // each has finished exiting (an exiting worker still in a ready queue
+  // keeps the token ring spinning), so their slots are released.
+  converse::wait_quiescence();
+
+  StormReport& rep = g->report;
+  rep.slots_balanced = total_used_slots(opt.npes) == g->slots_prestorm;
+  for (int p = 0; p < kPointCount; ++p) {
+    rep.injections[p] = injections(static_cast<Point>(p));
+  }
+  std::uint64_t wd = kFnvOffset;
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    for (const WorkerSlot& w : g->workers) wd = fnv1a_mix(wd, w.digest);
+  }
+  rep.workload_digest = wd;
+
+  converse::broadcast(h_alldone, {});
+}
+
+void storm_entry(int pe) {
+  StormGlobal* g = g_storm;
+  const StormOptions& opt = g->opt;
+
+  charm::Array<StormElement> array(kArrayId, opt.array_elements);
+  converse::barrier();
+  if (pe == 0) g->slots_prestorm = total_used_slots(opt.npes);
+  converse::barrier();  // baseline read strictly before any worker spawns
+
+  for (int w = 0; w < opt.workers; ++w) {
+    if (w % opt.npes != pe) continue;
+    migrate::MigratableThread* t = make_worker(w, pe, opt);
+    t->set_delete_on_exit(true);
+    {
+      std::lock_guard<std::mutex> lock(g->mu);
+      g->by_thread_id[t->id()] = w;
+      g->workers[static_cast<std::size_t>(w)].thread = t;
+    }
+    converse::ready_thread(t);
+  }
+
+  if (pe == 0) {
+    checker_main(&array);
+  } else {
+    g->mains[static_cast<std::size_t>(pe)] =
+        converse::pe_scheduler().running();
+    ult::suspend();  // until h_alldone
+  }
+  converse::barrier();  // keep every PE's array instance alive until quiet
+}
+
+}  // namespace
+
+StormReport run_storm(const StormOptions& options) {
+  MFC_CHECK_MSG(g_storm == nullptr, "run_storm is not reentrant");
+  MFC_CHECK(options.npes >= 1 && options.workers >= 1 &&
+            options.rounds >= 1 && options.array_elements >= 1);
+  register_storm_handlers();
+
+  auto g = std::make_unique<StormGlobal>();
+  g->opt = options;
+  g->workers.resize(static_cast<std::size_t>(options.workers));
+  g->mains.assign(static_cast<std::size_t>(options.npes), nullptr);
+  g->itinerary.resize(static_cast<std::size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) {
+    SplitMix64 rng(mix2(options.seed ^ kItinSalt,
+                        static_cast<std::uint64_t>(w)));
+    auto& route = g->itinerary[static_cast<std::size_t>(w)];
+    route.resize(static_cast<std::size_t>(options.rounds));
+    for (int r = 0; r < options.rounds; ++r) {
+      route[static_cast<std::size_t>(r)] = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(options.npes)));
+    }
+  }
+  // Fork the relay before the PE threads exist (single-threaded fork is
+  // clean; chaos-driven respawns later fork from a multithreaded parent,
+  // which the relay child is written to tolerate).
+  if (options.use_proc_transport) g->transport = new ProcTransport();
+  g_storm = g.get();
+
+  converse::Machine::Config mc;
+  mc.npes = options.npes;
+  mc.iso_slot_bytes = options.iso_slot_bytes;
+  mc.iso_slots_per_pe = options.iso_slots_per_pe;
+  mc.chaos = options.chaos;
+  converse::Machine::run(mc, storm_entry);
+
+  StormReport rep = g->report;
+  rep.rounds = static_cast<std::uint64_t>(options.rounds);
+  rep.thread_migrations = g->thread_migrations.load();
+  rep.element_migrations = g->element_migrations.load();
+  rep.pings_delivered = g->array_delivered.load();
+  rep.wire_bytes = g->wire_bytes.load();
+  rep.canary_failures = g->canary_failures.load();
+  rep.digest_mismatches = g->digest_mismatches.load();
+  rep.misroutes = g->misroutes.load();
+  rep.counter_failures = g->counter_failures.load();
+  const converse::PoolStats ps = converse::pool_stats();
+  rep.pool_balanced = ps.allocated == ps.freed;
+  if (g->transport != nullptr) {
+    rep.transport_respawns = g->transport->respawns();
+    delete g->transport;
+  }
+  g_storm = nullptr;
+  return rep;
+}
+
+}  // namespace mfc::chaos

@@ -1,0 +1,82 @@
+// Migration-storm stress driver.
+//
+// Runs the whole stack adversarially: a fleet of worker threads — cycled
+// across all three migration techniques (stack-copy, isomalloc, memalias) —
+// migrates every round along seed-derived itineraries while a chare array
+// delivers ttl-forwarded pings (and storms its own elements between PEs),
+// all optionally under chaos fault injection and with each thread image
+// optionally round-tripped through a forked relay process that chaos can
+// kill mid-shipment.
+//
+// After every round the driver quiesces the machine and runs invariant
+// checkers: stack/heap canaries and stack-address stability (verified by
+// each worker on arrival), PUP round-trip digests on every shipped thread
+// image, ping send/deliver counter balance under quiescence, and isomalloc
+// slot-count stability. The workload digest folds only seed-derived values,
+// so two runs with the same StormOptions are bit-identical — the replay
+// contract behind MFC_CHAOS_SEED.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chaos/chaos.h"
+
+namespace mfc::chaos {
+
+struct StormOptions {
+  std::uint64_t seed = 1;
+  int npes = 4;
+  /// Worker threads; worker w uses technique w % 3 and is born on PE
+  /// w % npes. Use a multiple of 3 to exercise every technique equally.
+  int workers = 12;
+  /// Migration rounds: every worker migrates once per round.
+  int rounds = 10;
+  std::size_t stack_bytes = 16 * 1024;
+  /// Isomalloc sizing for the run (small slots keep image copies cheap).
+  std::size_t iso_slot_bytes = 16 * 1024;
+  std::uint32_t iso_slots_per_pe = 4096;
+  /// Chare-array background traffic: pings seeded per round, each
+  /// forwarded ttl hops element-to-element.
+  int array_elements = 8;
+  int array_pings = 4;
+  int ping_ttl = 3;
+  bool element_migration = true;  ///< storm the array elements too
+  /// Round-trip every packed thread image through the forked relay
+  /// (Point::kTransportKill becomes live).
+  bool use_proc_transport = false;
+  /// Installed via Machine::Config for the duration of the storm.
+  Config chaos;
+};
+
+struct StormReport {
+  std::uint64_t rounds = 0;
+  std::uint64_t thread_migrations = 0;
+  std::uint64_t element_migrations = 0;
+  std::uint64_t pings_delivered = 0;
+  std::uint64_t wire_bytes = 0;  ///< serialized thread-image bytes shipped
+  std::uint64_t transport_respawns = 0;
+  std::uint64_t injections[kPointCount] = {};
+
+  // Invariant-checker verdicts (all must be zero / true for a clean storm).
+  std::uint64_t canary_failures = 0;   ///< stack/heap canary or address drift
+  std::uint64_t digest_mismatches = 0; ///< wire or PUP re-serialize digest
+  std::uint64_t misroutes = 0;         ///< worker woke on the wrong PE
+  std::uint64_t counter_failures = 0;  ///< ping counters unbalanced under QD
+  bool slots_balanced = false;  ///< iso slots returned to pre-storm baseline
+  bool pool_balanced = false;   ///< envelope books balanced at shutdown
+
+  /// Folds every worker's seed-derived history; bit-identical across runs
+  /// with equal options (the determinism probe tests compare this).
+  std::uint64_t workload_digest = 0;
+
+  bool clean() const {
+    return canary_failures == 0 && digest_mismatches == 0 && misroutes == 0 &&
+           counter_failures == 0 && slots_balanced && pool_balanced;
+  }
+};
+
+/// Boots a machine and runs the storm to completion. Not reentrant.
+StormReport run_storm(const StormOptions& options);
+
+}  // namespace mfc::chaos

@@ -13,12 +13,15 @@ struct ArrayHandlers {
   static void route(ArrayBase& a, int index, int tag, std::vector<char> p) {
     a.handle_route(index, tag, std::move(p));
   }
-  static void departed(ArrayBase& a, int index) { a.handle_departed(index); }
-  static void arrive(ArrayBase& a, int index, const std::vector<char>& s) {
-    a.handle_arrive(index, s);
+  static void departed(ArrayBase& a, int index, std::uint32_t epoch) {
+    a.handle_departed(index, epoch);
   }
-  static void settled(ArrayBase& a, int index, int pe) {
-    a.handle_settled(index, pe);
+  static void arrive(ArrayBase& a, int index, std::uint32_t epoch,
+                     const std::vector<char>& s) {
+    a.handle_arrive(index, epoch, s);
+  }
+  static void settled(ArrayBase& a, int index, int pe, std::uint32_t epoch) {
+    a.handle_settled(index, pe, epoch);
   }
   static void contribute(ArrayBase& a, int red_id, double v) {
     a.handle_contribute(red_id, v);
@@ -36,16 +39,19 @@ struct RouteMsg {
 };
 struct DepartMsg {
   int array_id = 0, index = 0;
-  void pup(pup::Er& p) { p | array_id | index; }
+  std::uint32_t epoch = 0;
+  void pup(pup::Er& p) { p | array_id | index | epoch; }
 };
 struct ArriveMsg {
   int array_id = 0, index = 0;
+  std::uint32_t epoch = 0;
   std::vector<char> state;
-  void pup(pup::Er& p) { p | array_id | index | state; }
+  void pup(pup::Er& p) { p | array_id | index | epoch | state; }
 };
 struct SettleMsg {
   int array_id = 0, index = 0, pe = 0;
-  void pup(pup::Er& p) { p | array_id | index | pe; }
+  std::uint32_t epoch = 0;
+  void pup(pup::Er& p) { p | array_id | index | pe | epoch; }
 };
 struct ContribMsg {
   int array_id = 0, reduction_id = 0;
@@ -71,15 +77,17 @@ void register_array_handlers() {
     });
     h_departed = converse::register_handler([](converse::Message&& m) {
       auto msg = m.as<DepartMsg>();
-      ArrayHandlers::departed(array_for(msg.array_id), msg.index);
+      ArrayHandlers::departed(array_for(msg.array_id), msg.index, msg.epoch);
     });
     h_arrive = converse::register_handler([](converse::Message&& m) {
       auto msg = m.as<ArriveMsg>();
-      ArrayHandlers::arrive(array_for(msg.array_id), msg.index, msg.state);
+      ArrayHandlers::arrive(array_for(msg.array_id), msg.index, msg.epoch,
+                            msg.state);
     });
     h_settled = converse::register_handler([](converse::Message&& m) {
       auto msg = m.as<SettleMsg>();
-      ArrayHandlers::settled(array_for(msg.array_id), msg.index, msg.pe);
+      ArrayHandlers::settled(array_for(msg.array_id), msg.index, msg.pe,
+                             msg.epoch);
     });
     h_contribute = converse::register_handler([](converse::Message&& m) {
       auto msg = m.as<ContribMsg>();
@@ -114,7 +122,7 @@ ArrayBase::ArrayBase(int id, int count, ElementFactory factory)
   for (int index = 0; index < count_; ++index) {
     if (index % npes != me) continue;
     // Initial placement: every element is born on its home PE.
-    home_[index] = HomeEntry{me, false, {}};
+    home_[index] = HomeEntry{me, 0, 0, {}};
     auto elem = factory_(index);
     elem->index_ = index;
     elem->array_id_ = id_;
@@ -169,7 +177,7 @@ void ArrayBase::handle_route(int index, int tag, std::vector<char> payload) {
   if (home_pe(index) == me) {
     HomeEntry& entry = home_.at(index);
     RouteMsg msg{id_, index, tag, std::move(payload)};
-    if (entry.in_transit) {
+    if (entry.depart_epoch > entry.settle_epoch) {
       // Buffer until the element settles at its destination.
       converse::Message buffered;
       buffered.handler = h_route;
@@ -197,35 +205,48 @@ void ArrayBase::migrate(int index, int dest_pe) {
   MFC_CHECK_MSG(it != local_.end(), "migrate() of a non-local element");
   if (dest_pe == converse::my_pe()) return;
 
-  ArriveMsg arrive{id_, index, pup::to_bytes(*it->second)};
+  const std::uint32_t epoch = it->second->hop_epoch_ + 1;
+  ArriveMsg arrive{id_, index, epoch, pup::to_bytes(*it->second)};
   local_.erase(it);
-  DepartMsg depart{id_, index};
+  DepartMsg depart{id_, index, epoch};
   converse::send_value(home_pe(index), h_departed, depart);
   converse::send_value(dest_pe, h_arrive, arrive);
 }
 
-void ArrayBase::handle_departed(int index) {
+void ArrayBase::handle_departed(int index, std::uint32_t epoch) {
   HomeEntry& entry = home_.at(index);
-  entry.in_transit = true;
+  // A depart notice can be delivered after the matching (or a later) settle
+  // — they come from different PEs. Only a notice newer than everything the
+  // home has already seen opens (or extends) the in-transit window.
+  if (epoch > entry.depart_epoch) entry.depart_epoch = epoch;
 }
 
-void ArrayBase::handle_arrive(int index, const std::vector<char>& state) {
+void ArrayBase::handle_arrive(int index, std::uint32_t epoch,
+                              const std::vector<char>& state) {
   auto elem = factory_(index);
   pup::MemUnpacker u(state.data(), state.size());
   elem->pup(u);
   elem->index_ = index;
   elem->array_id_ = id_;
+  elem->hop_epoch_ = epoch;
   local_[index] = std::move(elem);
-  SettleMsg settle{id_, index, converse::my_pe()};
+  SettleMsg settle{id_, index, converse::my_pe(), epoch};
   converse::send_value(home_pe(index), h_settled, settle);
 }
 
-void ArrayBase::handle_settled(int index, int pe) {
+void ArrayBase::handle_settled(int index, int pe, std::uint32_t epoch) {
   HomeEntry& entry = home_.at(index);
-  entry.location = pe;
-  entry.in_transit = false;
-  for (auto& m : entry.buffered) converse::send(pe, h_route, m.payload.take());
-  entry.buffered.clear();
+  // Settles for different hops can also arrive out of order when the element
+  // migrates again quickly; the location must come from the newest hop.
+  if (epoch > entry.settle_epoch) {
+    entry.settle_epoch = epoch;
+    entry.location = pe;
+  }
+  if (entry.settle_epoch >= entry.depart_epoch) {
+    for (auto& m : entry.buffered)
+      converse::send(entry.location, h_route, m.payload.take());
+    entry.buffered.clear();
+  }
 }
 
 void ArrayBase::contribute(int reduction_id, double value) {

@@ -50,6 +50,11 @@ class Element {
   int index_ = -1;
   int array_id_ = -1;
   double load_ = 0.0;
+  // Number of completed migrations of this element; stamps the depart /
+  // arrive / settle control messages so the home can order them even when
+  // the transport reorders delivery. Travels with the element (set on
+  // arrival from the ArriveMsg), not part of user pup state.
+  std::uint32_t hop_epoch_ = 0;
 };
 
 using ElementFactory = std::function<std::unique_ptr<Element>(int index)>;
@@ -104,9 +109,10 @@ class ArrayBase {
 
   void deliver_local(int index, int tag, std::vector<char> payload);
   void handle_route(int index, int tag, std::vector<char> payload);
-  void handle_departed(int index);
-  void handle_arrive(int index, const std::vector<char>& state);
-  void handle_settled(int index, int pe);
+  void handle_departed(int index, std::uint32_t epoch);
+  void handle_arrive(int index, std::uint32_t epoch,
+                     const std::vector<char>& state);
+  void handle_settled(int index, int pe, std::uint32_t epoch);
   void handle_contribute(int reduction_id, double value);
 
   int id_;
@@ -116,9 +122,15 @@ class ArrayBase {
   std::unordered_map<int, std::unique_ptr<Element>> local_;
 
   // Home-role state (entries only for indices whose home is this PE).
+  // The element is in transit exactly when depart_epoch > settle_epoch.
+  // Epoch stamps make the protocol tolerant of reordered delivery: a
+  // depart notice for hop N arriving after hop N's settle (possible when
+  // the network delays messages — the two come from different PEs) cannot
+  // wedge the entry in a permanent in-transit state.
   struct HomeEntry {
     int location = -1;
-    bool in_transit = false;
+    std::uint32_t depart_epoch = 0;
+    std::uint32_t settle_epoch = 0;
     std::vector<converse::Message> buffered;
   };
   std::unordered_map<int, HomeEntry> home_;

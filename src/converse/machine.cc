@@ -55,6 +55,40 @@ struct MsgPool {
   std::vector<Message*> cache;
 };
 
+/// Envelope lifecycle audit (PoolStats): every `new Message` / `delete` in
+/// this file goes through create_message/destroy_message so Machine::run
+/// can assert allocated == freed after the teardown drain. Process-scope
+/// (not MachineState) so pool_stats() stays readable after run returns.
+std::atomic<std::uint64_t> g_msgs_allocated{0};
+std::atomic<std::uint64_t> g_msgs_freed{0};
+std::atomic<std::uint64_t> g_msgs_recycled{0};
+std::atomic<std::uint64_t> g_msgs_drained{0};
+
+Message* create_message() {
+  g_msgs_allocated.fetch_add(1, std::memory_order_relaxed);
+  return new Message();
+}
+
+void destroy_message(Message* m) {
+  g_msgs_freed.fetch_add(1, std::memory_order_relaxed);
+  delete m;
+}
+
+/// Teardown-drain destruction: a message reclaimed from a queue, delay
+/// stash, or legacy inbox after the machine stopped.
+void drain_message(Message* m) {
+  g_msgs_drained.fetch_add(1, std::memory_order_relaxed);
+  destroy_message(m);
+}
+
+/// A message whose delivery the chaos layer postponed: dispatch when the
+/// owning PE's loop tick reaches `due`. Later arrivals with earlier dues
+/// overtake it — exactly the cross-PE reorder the fault model wants.
+struct Delayed {
+  Message* m = nullptr;
+  std::uint64_t due = 0;
+};
+
 struct Pe {
   int id = -1;
   IntrusiveMpscChannel<Message> queue;
@@ -66,18 +100,27 @@ struct Pe {
   PeCounters counters;
   MsgPool pool;
   int inline_depth = 0;
+  std::vector<Delayed> delayed;  // chaos delivery-delay stash
+  std::uint64_t tick = 0;        // loop-iteration clock for `delayed`
 
+  /// Everything still held here drains through the counted teardown path;
+  /// Machine::run asserts the books balance right after the PEs are gone.
   ~Pe() {
-    while (Message* m = queue.try_pop()) delete m;
+    while (Message* m = queue.try_pop()) drain_message(m);
     while (legacy_queue.try_pop()) {
     }
-    for (Message* m : pool.cache) delete m;
+    for (const Delayed& d : delayed) drain_message(d.m);
+    for (Message* m : pool.cache) destroy_message(m);
   }
 };
 
 struct MachineState {
   int npes = 0;
   bool mutex_baseline = false;
+  /// Chaos delivery-delay active: consumer loops stash injected messages
+  /// and the self-send inline bypass is off (inline delivery would let a
+  /// self-send overtake a delayed earlier message).
+  bool chaos_delay = false;
   std::size_t pool_cap = 4096;
   std::vector<std::unique_ptr<Pe>> pes;
   std::atomic<int> mains_finished{0};
@@ -177,7 +220,7 @@ HandlerFn* handler_lookup(HandlerId id) {
 void release_message(Message* m) {
   if (m->pool_pe < 0 || t_pe == nullptr ||
       t_pe->pool.cache.size() >= g_machine->pool_cap) {
-    delete m;
+    destroy_message(m);
     return;
   }
   m->pool_pe = t_pe->id;
@@ -187,11 +230,18 @@ void release_message(Message* m) {
 Message* pool_acquire(Pe* pe) {
   MsgPool& pool = pe->pool;
   if (!pool.cache.empty()) {
+    // Chaos pool-miss injection: skip the freelist and take a one-shot heap
+    // envelope (pool_pe = -1 so release frees instead of recycling) —
+    // models allocator pressure without actually failing the send.
+    if (chaos::should_inject(chaos::Point::kPoolAcquire)) {
+      return create_message();
+    }
     Message* m = pool.cache.back();
     pool.cache.pop_back();
+    g_msgs_recycled.fetch_add(1, std::memory_order_relaxed);
     return m;
   }
-  auto* m = new Message();
+  Message* m = create_message();
   m->pool_pe = pe->id;
   return m;
 }
@@ -216,9 +266,32 @@ void dispatch_value(Message&& m) {
   (*fn)(std::move(m));
 }
 
+/// Dispatches every stashed message whose due tick has passed, in stash
+/// order among equals — the reorder comes from unequal injected delays.
+bool release_due_delayed(Pe* pe) {
+  bool any = false;
+  for (std::size_t i = 0; i < pe->delayed.size();) {
+    if (pe->delayed[i].due <= pe->tick) {
+      Message* m = pe->delayed[i].m;
+      pe->delayed.erase(pe->delayed.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      dispatch(m);
+      any = true;
+    } else {
+      ++i;
+    }
+  }
+  return any;
+}
+
 void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
   t_pe = pe;
   ult::Scheduler::set_current(&pe->sched);
+  // Bind this PE's chaos decision streams and (in deterministic-schedule
+  // mode) hand the scheduler its seeded choice RNG. Both are no-ops when
+  // chaos is not installed.
+  chaos::bind_stream(pe->id);
+  pe->sched.set_choice_rng(chaos::sched_choice_rng());
 
   auto* main_thread = new ult::StandardThread(
       [pe, &entry] {
@@ -248,14 +321,32 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
       }
     }
   } else {
+    const bool delay_on = g_machine->chaos_delay;
+    const std::uint64_t max_ticks = delay_on ? chaos::config().max_delay_ticks : 0;
     while (!g_machine->stop.load(std::memory_order_acquire)) {
       bool progress = false;
+      if (delay_on) {
+        ++pe->tick;
+        if (release_due_delayed(pe)) progress = true;
+      }
       while (Message* m = pe->queue.try_pop()) {
-        dispatch(m);
+        if (delay_on && chaos::should_inject(chaos::Point::kDelivery)) {
+          // Stash instead of dispatching; a later arrival with a shorter
+          // injected delay overtakes this one. QD stays honest while the
+          // stash is non-empty: the message counts as sent but not yet
+          // delivered, so the machine cannot report quiescent around it.
+          const std::uint64_t d =
+              1 + chaos::draw(chaos::Point::kDelivery, max_ticks);
+          pe->delayed.push_back({m, pe->tick + d});
+        } else {
+          dispatch(m);
+        }
         progress = true;
       }
       if (pe->sched.run_one()) progress = true;
       if (!progress) {
+        // A non-empty stash forbids parking — only loop ticks age it out.
+        if (!pe->delayed.empty()) continue;
         // Idle: bounded spin then park until a message arrives or shutdown
         // wakes us. On delivery, re-enter the drain loop immediately — the
         // batch behind this message is typically non-empty.
@@ -267,6 +358,8 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
     }
   }
 
+  pe->sched.set_choice_rng(nullptr);
+  chaos::unbind_stream();
   ult::Scheduler::set_current(nullptr);
   t_pe = nullptr;
 }
@@ -353,6 +446,17 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   MFC_CHECK(config.npes >= 1);
   register_builtin_handlers();
 
+  // Chaos may also be installed by the caller before run (tests do this to
+  // inspect injection counters afterwards); then the machine just uses it.
+  const bool owns_chaos = config.chaos.enabled && !chaos::enabled();
+  if (owns_chaos) chaos::install(config.chaos);
+
+  // Fresh envelope books for this run; pool_stats() reads them after.
+  g_msgs_allocated.store(0, std::memory_order_relaxed);
+  g_msgs_freed.store(0, std::memory_order_relaxed);
+  g_msgs_recycled.store(0, std::memory_order_relaxed);
+  g_msgs_drained.store(0, std::memory_order_relaxed);
+
   const bool owns_region =
       config.iso_slots_per_pe > 0 && !iso::Region::initialized();
   if (owns_region) {
@@ -366,6 +470,8 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   g_machine = new MachineState();
   g_machine->npes = config.npes;
   g_machine->mutex_baseline = config.mutex_baseline;
+  g_machine->chaos_delay =
+      chaos::enabled() && chaos::config().delivery_delay > 0.0;
   g_machine->pool_cap = config.pool_cap;
   for (int i = 0; i < config.npes; ++i) {
     auto pe = std::make_unique<Pe>();
@@ -381,9 +487,17 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   }
   for (auto& t : threads) t.join();
 
-  delete g_machine;
+  delete g_machine;  // ~Pe drains inboxes/stashes/pools via the counted path
   g_machine = nullptr;
   if (owns_region) iso::Region::shutdown();
+  if (owns_chaos) chaos::uninstall();
+
+  // The shutdown-leak invariant: every envelope this run allocated came
+  // back through destroy_message — including messages still queued in peer
+  // inboxes or chaos delay stashes when the last main finished.
+  MFC_CHECK_MSG(g_msgs_allocated.load(std::memory_order_relaxed) ==
+                    g_msgs_freed.load(std::memory_order_relaxed),
+                "message envelopes leaked at machine shutdown");
 }
 
 int my_pe() {
@@ -404,7 +518,7 @@ Message* acquire_message(std::size_t payload_bytes) {
   MFC_CHECK(g_machine != nullptr);
   Message* m = (t_pe != nullptr && !g_machine->mutex_baseline)
                    ? pool_acquire(t_pe)
-                   : new Message();
+                   : create_message();
   m->payload.resize(payload_bytes);
   return m;
 }
@@ -412,6 +526,9 @@ Message* acquire_message(std::size_t payload_bytes) {
 void send_message(int dest_pe, HandlerId handler, Message* m) {
   MFC_CHECK(g_machine != nullptr);
   MFC_CHECK(dest_pe >= 0 && dest_pe < g_machine->npes);
+  // A ULT can lose the processor right at a send boundary — the classic
+  // window where a racing handler observes half-updated thread state.
+  chaos::preempt_point("converse.send");
   m->handler = handler;
   m->src_pe = t_pe != nullptr ? t_pe->id : -1;
   m->dest_pe = dest_pe;
@@ -434,8 +551,9 @@ void send_message(int dest_pe, HandlerId handler, Message* m) {
   // delivery cannot overtake messages already queued to this PE, and on a
   // depth cap so chained self-sends cannot starve the scheduler loop.
   Pe* self = t_pe;
-  if (self != nullptr && dest_pe == self->id && !self->sched.in_thread() &&
-      self->inline_depth < kMaxInlineDepth && self->queue.consumer_empty()) {
+  if (!g_machine->chaos_delay && self != nullptr && dest_pe == self->id &&
+      !self->sched.in_thread() && self->inline_depth < kMaxInlineDepth &&
+      self->queue.consumer_empty()) {
     ++self->inline_depth;
     dispatch(m);
     --self->inline_depth;
@@ -492,6 +610,15 @@ std::uint64_t messages_sent() {
 
 std::uint64_t messages_delivered() {
   return g_machine != nullptr ? total_delivered() : 0;
+}
+
+PoolStats pool_stats() {
+  PoolStats s;
+  s.allocated = g_msgs_allocated.load(std::memory_order_relaxed);
+  s.freed = g_msgs_freed.load(std::memory_order_relaxed);
+  s.recycled = g_msgs_recycled.load(std::memory_order_relaxed);
+  s.drained_at_shutdown = g_msgs_drained.load(std::memory_order_relaxed);
+  return s;
 }
 
 void wait_quiescence() {

@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "iso/region.h"
 #include "pup/pup.h"
 #include "ult/scheduler.h"
@@ -158,6 +159,12 @@ class Machine {
     /// lock, no pooling, no self-send bypass) so bench_micro can report
     /// the lock-free speedup from inside one binary.
     bool mutex_baseline = false;
+    /// Fault injection / deterministic scheduling (chaos.enabled = true
+    /// installs the chaos engine for the duration of the run; the seed is
+    /// printed as MFC_CHAOS_SEED for replay). With delivery_delay active
+    /// the self-send inline bypass is disabled so delayed messages cannot
+    /// be overtaken.
+    chaos::Config chaos;
   };
 
   /// Boots the machine: spawns one kernel thread per PE, runs `entry(pe)`
@@ -212,6 +219,23 @@ ult::Scheduler& pe_scheduler();
 /// machine is running).
 std::uint64_t messages_sent();
 std::uint64_t messages_delivered();
+
+/// Message-envelope lifecycle accounting. Every envelope the machine
+/// creates is counted at allocation and at destruction through one audited
+/// path, and Machine::run asserts allocated == freed after teardown — a
+/// PE exiting with a non-empty inbox, a stashed chaos-delayed batch, or a
+/// populated recycling pool must all drain through the counted teardown.
+/// Counters reset at the start of each Machine::run and remain readable
+/// after it returns.
+struct PoolStats {
+  std::uint64_t allocated = 0;  ///< envelopes newed this run
+  std::uint64_t freed = 0;      ///< envelopes deleted this run
+  std::uint64_t recycled = 0;   ///< pool hits (no allocation needed)
+  /// Envelopes still in flight (peer inboxes, delay stashes) when the
+  /// machine stopped, reclaimed by the teardown drain.
+  std::uint64_t drained_at_shutdown = 0;
+};
+PoolStats pool_stats();
 
 /// Quiescence detection: blocks the calling user-level thread until every
 /// message sent anywhere in the machine has been delivered and no PE has

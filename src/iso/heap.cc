@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "chaos/chaos.h"
 #include "util/check.h"
 
 namespace mfc::iso {
@@ -229,7 +230,13 @@ ThreadHeap* current_heap() { return t_current_heap; }
 void set_current_heap(ThreadHeap* heap) { t_current_heap = heap; }
 
 void* routed_malloc(std::size_t size) {
-  if (ThreadHeap* heap = t_current_heap) return heap->malloc(size);
+  if (ThreadHeap* heap = t_current_heap) {
+    // A thread can be descheduled right at an allocation boundary — the
+    // spot where a migration racing an in-progress malloc would corrupt the
+    // arena if heap routing weren't per-thread.
+    chaos::preempt_point("iso.routed_malloc");
+    return heap->malloc(size);
+  }
   return std::malloc(size);
 }
 

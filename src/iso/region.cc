@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "chaos/chaos.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -56,6 +57,9 @@ Region::~Region() { munmap(base_, total_bytes_); }
 SlotId Region::try_acquire(int pe, std::uint32_t count) {
   MFC_CHECK(pe >= 0 && pe < config_.npes);
   MFC_CHECK(count >= 1 && count <= config_.slots_per_pe);
+  // Chaos: pretend the strip is exhausted. Callers must treat an invalid
+  // SlotId as the transient resource failure it models (acquire() retries).
+  if (chaos::should_inject(chaos::Point::kIsoAcquire)) return SlotId{};
   Strip& strip = strips_[static_cast<std::size_t>(pe)];
   std::lock_guard<std::mutex> lock(strip.mutex);
   const std::uint32_t n = config_.slots_per_pe;
@@ -83,6 +87,11 @@ SlotId Region::try_acquire(int pe, std::uint32_t count) {
 
 SlotId Region::acquire(int pe, std::uint32_t count) {
   SlotId id = try_acquire(pe, count);
+  // Injected failures are transient by contract; a bounded retry separates
+  // them from real strip exhaustion, which must still abort loudly.
+  for (int retry = 0; !id.valid() && chaos::enabled() && retry < 64; ++retry) {
+    id = try_acquire(pe, count);
+  }
   MFC_CHECK_MSG(id.valid(), "isomalloc strip exhausted (virtual address space "
                             "limit — see paper §3.4.2)");
   return id;

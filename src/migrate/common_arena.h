@@ -8,6 +8,7 @@
 // from switch-in to switch-out.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 
@@ -36,8 +37,21 @@ class CommonStackArena {
   /// memfd instead of anonymous memory. Lets switch-in paths skip remaps
   /// that are not needed and lets stack-copy threads restore anonymous
   /// pages before writing over a memory-alias occupant's file pages.
-  const void* occupant() const { return occupant_; }
-  void set_occupant(const void* who) { occupant_ = who; }
+  const void* occupant() const {
+    return occupant_.load(std::memory_order_acquire);
+  }
+  void set_occupant(const void* who) {
+    occupant_.store(who, std::memory_order_release);
+  }
+  /// Clears the occupancy record iff it still names `who`. For paths that do
+  /// not hold the arena lock — destructors and pack() run on whichever PE
+  /// owns the thread object, possibly concurrent with another PE's
+  /// switch-in — so the clear must be a lock-free compare-and-swap.
+  void clear_occupant_if(const void* who) {
+    const void* expected = who;
+    occupant_.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel);
+  }
   std::size_t fd_extent() const { return fd_extent_; }
 
   /// Replaces the arena pages with fresh anonymous memory (stack-copy
@@ -55,7 +69,7 @@ class CommonStackArena {
   void* base_ = nullptr;
   std::size_t capacity_ = 0;
   std::mutex mutex_;
-  const void* occupant_ = nullptr;
+  std::atomic<const void*> occupant_{nullptr};
   std::size_t fd_extent_ = 0;
 };
 

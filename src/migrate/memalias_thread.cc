@@ -40,8 +40,7 @@ void MemAliasThread::create_backing() {
 MemAliasThread::~MemAliasThread() {
   // Clear stale occupancy: a later thread allocated at this address must
   // not be mistaken for us and skip mapping its own pages.
-  CommonStackArena& arena = CommonStackArena::instance();
-  if (arena.occupant() == this) arena.set_occupant(nullptr);
+  CommonStackArena::instance().clear_occupant_if(this);
   if (backing_fd_ >= 0) close(backing_fd_);
 }
 
@@ -74,7 +73,7 @@ ThreadImage MemAliasThread::pack() {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
                 "pack() requires a suspended thread");
   CommonStackArena& arena = CommonStackArena::instance();
-  if (arena.occupant() == this) arena.set_occupant(nullptr);
+  arena.clear_occupant_if(this);
   ThreadImage image;
   image.technique = Technique::kMemAlias;
   image.thread_id = id();

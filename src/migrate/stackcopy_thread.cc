@@ -13,8 +13,7 @@ StackCopyThread::StackCopyThread(Fn fn, std::size_t stack_bytes)
 }
 
 StackCopyThread::~StackCopyThread() {
-  CommonStackArena& arena = CommonStackArena::instance();
-  if (arena.occupant() == this) arena.set_occupant(nullptr);
+  CommonStackArena::instance().clear_occupant_if(this);
 }
 
 StackCopyThread::StackCopyThread(const ThreadImage& image)

@@ -52,8 +52,12 @@ Thread* Scheduler::pick_next() {
     }
   }
   if (!ready_.empty()) {
-    Thread* t = ready_.front();
-    ready_.pop_front();
+    std::size_t i = 0;
+    if (choice_rng_ != nullptr && ready_.size() > 1) {
+      i = choice_rng_->next_below(ready_.size());
+    }
+    Thread* t = ready_[i];
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
     return t;
   }
   if (prioritized_count_ > 0) {

@@ -14,6 +14,7 @@
 
 #include "arch/context.h"
 #include "ult/thread.h"
+#include "util/rng.h"
 
 namespace mfc::ult {
 
@@ -63,6 +64,13 @@ class Scheduler {
   bool in_thread() const { return running_ != nullptr; }
   std::size_t ready_count() const { return ready_.size() + prioritized_count_; }
 
+  /// Installs a seeded RNG that randomizes which priority-0 ready thread
+  /// runs next (chaos deterministic-schedule mode: adversarial interleavings
+  /// that replay from one seed). Pass nullptr to restore FIFO order. The
+  /// RNG must outlive its installation; priority queues stay ordered —
+  /// priorities are an application contract, FIFO among peers is not.
+  void set_choice_rng(SplitMix64* rng) { choice_rng_ = rng; }
+
  private:
   friend class Thread;
 
@@ -73,6 +81,7 @@ class Scheduler {
   std::map<int, std::deque<Thread*>> prioritized_;
   std::size_t prioritized_count_ = 0;
   Thread* running_ = nullptr;
+  SplitMix64* choice_rng_ = nullptr;
   arch::Context main_;
 };
 

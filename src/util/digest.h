@@ -1,0 +1,32 @@
+// FNV-1a 64-bit digests — the byte-level fingerprint used by the PUP
+// round-trip checkers and the chaos/storm invariant layer. Not
+// cryptographic; chosen for speed, zero dependencies, and stable output
+// across platforms (the replay story compares digests across runs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mfc {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Digest of a byte range, chainable via `h` (pass a previous digest to
+/// fold multiple ranges into one fingerprint).
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Folds one 64-bit word into a digest (itineraries, counters, ids).
+inline std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(&v, sizeof v, h);
+}
+
+}  // namespace mfc

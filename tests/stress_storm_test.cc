@@ -1,0 +1,117 @@
+// Migration-storm stress tests (labeled `stress`; the tsan CI preset runs
+// these under ThreadSanitizer with a fixed seed matrix).
+//
+// Reproducing a failed seed: the storm prints `MFC_CHAOS_SEED=<n>` at
+// install time; rerun that exact interleaving pressure with
+//   MFC_CHAOS_SEED=<n> ctest --preset tsan -R Storm
+#include "chaos/storm.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace chaos = mfc::chaos;
+using chaos::StormOptions;
+using chaos::StormReport;
+
+StormOptions quiet_options(std::uint64_t seed) {
+  StormOptions opt;
+  opt.seed = seed;
+  opt.npes = 4;
+  opt.workers = 6;
+  opt.rounds = 6;
+  return opt;
+}
+
+/// Full-adversary options: every fault point live, deterministic scheduler
+/// picks, and thread images round-tripped through the killable relay.
+StormOptions hostile_options(std::uint64_t seed) {
+  StormOptions opt;
+  opt.seed = seed;
+  opt.npes = 4;
+  opt.workers = 9;  // 3 per migration technique
+  opt.rounds = 12;
+  opt.use_proc_transport = true;
+  opt.chaos.enabled = true;
+  opt.chaos.seed = seed;
+  opt.chaos.deterministic_sched = true;
+  opt.chaos.iso_alloc_fail = 0.05;
+  opt.chaos.pool_fail = 0.05;
+  opt.chaos.delivery_delay = 0.15;
+  opt.chaos.max_delay_ticks = 6;
+  opt.chaos.preempt = 0.02;
+  opt.chaos.transport_kill = 0.2;
+  opt.chaos.max_transport_kills = 3;
+  return opt;
+}
+
+void expect_clean(const StormReport& r, const StormOptions& opt) {
+  EXPECT_EQ(r.canary_failures, 0u);
+  EXPECT_EQ(r.digest_mismatches, 0u);
+  EXPECT_EQ(r.misroutes, 0u);
+  EXPECT_EQ(r.counter_failures, 0u);
+  EXPECT_TRUE(r.slots_balanced);
+  EXPECT_TRUE(r.pool_balanced);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.rounds, static_cast<std::uint64_t>(opt.rounds));
+  EXPECT_EQ(r.thread_migrations,
+            static_cast<std::uint64_t>(opt.workers) *
+                static_cast<std::uint64_t>(opt.rounds));
+  EXPECT_GT(r.pings_delivered, 0u);
+  EXPECT_GT(r.wire_bytes, 0u);
+}
+
+TEST(Storm, CleanRunWithoutChaos) {
+  StormOptions opt = quiet_options(1);
+  StormReport r = chaos::run_storm(opt);
+  expect_clean(r, opt);
+  EXPECT_EQ(r.transport_respawns, 0u);
+  for (int p = 0; p < chaos::kPointCount; ++p) EXPECT_EQ(r.injections[p], 0u);
+}
+
+TEST(Storm, WorkloadDigestReplaysBitIdentically) {
+  StormOptions opt = hostile_options(40);
+  StormReport a = chaos::run_storm(opt);
+  StormReport b = chaos::run_storm(opt);
+  expect_clean(a, opt);
+  expect_clean(b, opt);
+  EXPECT_EQ(a.workload_digest, b.workload_digest)
+      << "same StormOptions must replay the same workload bit-identically";
+  // Transport kills are keyed by (seed, shipment, attempt): the respawn
+  // pattern is part of the replay contract.
+  EXPECT_EQ(a.transport_respawns, b.transport_respawns);
+  StormOptions other = hostile_options(41);
+  StormReport c = chaos::run_storm(other);
+  expect_clean(c, other);
+  EXPECT_NE(a.workload_digest, c.workload_digest)
+      << "different seeds must drive different itineraries";
+}
+
+/// The acceptance storm: >= 100 randomized migration rounds across all three
+/// techniques with every fault point enabled.
+TEST(Storm, HundredRoundAcceptanceUnderFullChaos) {
+  StormOptions opt = hostile_options(7);
+  opt.rounds = 101;
+  StormReport r = chaos::run_storm(opt);
+  expect_clean(r, opt);
+  EXPECT_GE(r.rounds, 100u);
+  EXPECT_EQ(r.thread_migrations, 9u * 101u);
+  EXPECT_GT(r.transport_respawns, 0u);
+  std::uint64_t fired = 0;
+  for (int p = 0; p < chaos::kPointCount; ++p) fired += r.injections[p];
+  EXPECT_GT(fired, 0u) << "full-chaos storm must actually inject faults";
+}
+
+/// Fixed three-seed matrix run by the tsan CI preset (-L stress).
+class StormSeedMatrix : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StormSeedMatrix, HostileStormStaysClean) {
+  StormOptions opt = hostile_options(GetParam());
+  StormReport r = chaos::run_storm(opt);
+  expect_clean(r, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StormSeedMatrix,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace

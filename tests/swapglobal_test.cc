@@ -6,6 +6,8 @@
 #include <cstring>
 #include <string>
 
+#include "migrate/memalias_thread.h"
+#include "migrate/migratable.h"
 #include "pup/pup.h"
 #include "swapglobal/elf_got.h"
 #include "swapglobal/global.h"
@@ -88,6 +90,61 @@ TEST(SwapGlobal, SetsPupRoundTrip) {
   EXPECT_EQ(g_counter.get(), 1234);
   EXPECT_EQ(g_name.get(), "migrated");
   GlobalSet::install(nullptr);
+}
+
+// ---- Privatized globals crossing a migration (memalias + swapglobal) ----
+
+TEST(SwapGlobalMigrate, MemAliasThreadCarriesPrivateGlobalsAcrossMigration) {
+  // A thread with a privatized global set migrates via the memory-alias
+  // technique. The runtime ships the GlobalSet alongside the thread image
+  // (GlobalSet::pup) and re-attaches the switch hook on the destination —
+  // hooks are per-thread scheduler state, not part of the packed image.
+  mfc::ult::Scheduler sched;
+  int before = -1, after = -1;
+  std::string name_after;
+  const GlobalSet* set_in_thread = nullptr;
+  auto* t = new mfc::migrate::MemAliasThread([&] {
+    g_counter.get() = 4321;
+    g_name.get() = "voyager";
+    before = g_counter.get();
+    mfc::ult::suspend();  // docked: migration happens here
+    set_in_thread = GlobalSet::current();
+    after = g_counter.get();
+    name_after = g_name.get();
+  });
+  GlobalSet src;
+  attach(t, &src);
+  sched.ready(t);
+  sched.run_until_idle();  // phase 1 writes privates, then docks
+
+  ASSERT_EQ(before, 4321);
+  EXPECT_EQ(g_counter.get(), 7) << "suspended thread's set must be swapped out";
+
+  // Source PE: pack the thread and pup its global set separately.
+  auto set_bytes = mfc::pup::to_bytes(src);
+  mfc::migrate::ThreadImage image = t->pack();
+  delete t;
+  auto wire = mfc::pup::to_bytes(image);
+
+  // Destination PE: rebuild image + set, re-attach, resume on a new
+  // scheduler (a different kernel-thread context in the real machine).
+  mfc::migrate::ThreadImage arrived;
+  mfc::pup::from_bytes(wire, arrived);
+  auto* t2 = mfc::migrate::MigratableThread::unpack(std::move(arrived), 1);
+  GlobalSet dst;
+  mfc::pup::from_bytes(set_bytes, dst);
+  attach(t2, &dst);
+  mfc::ult::Scheduler dest_sched;
+  dest_sched.ready(t2);
+  dest_sched.run_until_idle();
+  delete t2;
+
+  EXPECT_EQ(set_in_thread, &dst)
+      << "resumed thread must see the destination PE's global table";
+  EXPECT_EQ(after, 4321) << "private value lost across migration";
+  EXPECT_EQ(name_after, "voyager");
+  EXPECT_EQ(g_counter.get(), 7) << "shared default untouched throughout";
+  EXPECT_EQ(GlobalSet::current(), nullptr);
 }
 
 // ---- Real ELF GOT swapping ----
