@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/stats.h"
 #include "util/sysinfo.h"
 
 namespace mfc::bench {
@@ -25,12 +26,21 @@ struct MsgBenchRow {
   int npes = 0;
   std::uint64_t messages = 0;
   double seconds = 0.0;
+  /// Process CPU time (user+sys) consumed by the run; 0 when not measured.
+  /// On an oversubscribed host wall time includes kernel-scheduler waits
+  /// the workload cannot control, so per-message *cost* comparisons (e.g.
+  /// the tracing-overhead suite) are made on CPU time.
+  double cpu_seconds = 0.0;
 
   double msgs_per_sec() const {
     return seconds > 0 ? static_cast<double>(messages) / seconds : 0.0;
   }
   double ns_per_msg() const {
     return messages > 0 ? seconds * 1e9 / static_cast<double>(messages) : 0.0;
+  }
+  double cpu_ns_per_msg() const {
+    return messages > 0 ? cpu_seconds * 1e9 / static_cast<double>(messages)
+                        : 0.0;
   }
 };
 
@@ -50,13 +60,22 @@ inline bool write_msg_bench_json(const char* path, const char* suite,
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const MsgBenchRow& r = rows[i];
+    // Floats go through format_double: printf's %f obeys LC_NUMERIC and a
+    // comma decimal separator would make the file unparseable as JSON.
+    std::string cpu;
+    if (r.cpu_seconds > 0) {
+      cpu = ", \"cpu_seconds\": " + format_double(r.cpu_seconds, 6) +
+            ", \"cpu_ns_per_msg\": " + format_double(r.cpu_ns_per_msg(), 1);
+    }
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"mode\": \"%s\", \"npes\": %d, "
-                 "\"messages\": %llu, \"seconds\": %.6f, "
-                 "\"msgs_per_sec\": %.0f, \"ns_per_msg\": %.1f}%s\n",
+                 "\"messages\": %llu, \"seconds\": %s, "
+                 "\"msgs_per_sec\": %s, \"ns_per_msg\": %s%s}%s\n",
                  r.name.c_str(), r.mode.c_str(), r.npes,
-                 static_cast<unsigned long long>(r.messages), r.seconds,
-                 r.msgs_per_sec(), r.ns_per_msg(),
+                 static_cast<unsigned long long>(r.messages),
+                 format_double(r.seconds, 6).c_str(),
+                 format_double(r.msgs_per_sec(), 0).c_str(),
+                 format_double(r.ns_per_msg(), 1).c_str(), cpu.c_str(),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -19,7 +19,9 @@
 #include "pup/pup.h"
 #include "sdag/retswitch.h"
 #include "sdag/sdag.h"
+#include "trace/trace.h"
 #include "ult/scheduler.h"
+#include "util/stats.h"
 #include "util/timer.h"
 
 namespace {
@@ -403,6 +405,114 @@ void run_converse_suite() {
   std::printf("\n");
 }
 
+// ---- tracing overhead (observability acceptance) ----
+// The same messaging workloads run tracing-off and tracing-on. With tracing
+// off the emit() sites cost one predictable branch each — indistinguishable
+// from noise here, which is the point. With tracing on every message adds
+// a 32-byte ring store at send, dispatch-begin, and dispatch-end, plus
+// ~one rdtsc read (edge-triggered — see trace.h); the acceptance bar is
+// <= 10% throughput loss on pingpong.
+// Rows land in BENCH_trace.json so the overhead is tracked across PRs.
+
+/// Runs `fn` (a whole-machine workload returning a bench row) with an
+/// explicit trace session wrapped around it when `traced`. Events are
+/// recorded at full fidelity but discarded at stop — the cost under test
+/// is the hot-path emit, not the exporter.
+template <typename Fn>
+mfc::bench::MsgBenchRow traced_run(bool traced, int npes, Fn&& fn) {
+  if (traced) mfc::trace::start(npes);
+  // CPU time brackets the workload only — ring allocation in start() and
+  // the discard in stop() are session setup, not the hot path under test.
+  const double cpu0 = mfc::process_cpu_time();
+  mfc::bench::MsgBenchRow row = fn();
+  row.cpu_seconds = mfc::process_cpu_time() - cpu0;
+  if (traced) mfc::trace::stop();
+  row.mode = traced ? "trace_on" : "trace_off";
+  return row;
+}
+
+/// Measures tracing overhead for one workload with PAIRED reps: each rep
+/// runs trace-off then trace-on back-to-back, so slow drift on a
+/// shared/virtualized host (frequency steps, co-tenant load) lands on
+/// both sides instead of entirely on whichever phase ran last.
+///
+/// The overhead ratio is computed on process CPU TIME, as the median of
+/// the per-rep paired ratios. This host has ONE core, so the PE threads
+/// are fully oversubscribed and the wall clock of a latency workload
+/// mostly measures kernel scheduling (futex wakes, preemption quanta)
+/// the tracing layer never touches. CPU time counts only work our
+/// process did, but its cost-per-op still drifts minute to minute
+/// (frequency scaling, co-tenant cache contention) — so each rep's
+/// off/on pair runs back-to-back within a few milliseconds and is
+/// compared only against itself; the median ratio then rejects the reps
+/// a preemption landed in. The rows recorded in BENCH_trace.json are
+/// the pair whose ratio is the median.
+template <typename Fn>
+double paired_overhead_pct(int reps, int npes, Fn&& fn,
+                           std::vector<mfc::bench::MsgBenchRow>& rows) {
+  std::vector<mfc::bench::MsgBenchRow> offs, ons;
+  std::vector<std::pair<double, int>> ratios;
+  for (int i = 0; i < reps; ++i) {
+    offs.push_back(traced_run(false, npes, fn));
+    ons.push_back(traced_run(true, npes, fn));
+    ratios.emplace_back(ons.back().cpu_seconds / offs.back().cpu_seconds, i);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const int mid = ratios[ratios.size() / 2].second;
+  rows.push_back(offs[static_cast<std::size_t>(mid)]);
+  print_row(rows.back());
+  rows.push_back(ons[static_cast<std::size_t>(mid)]);
+  print_row(rows.back());
+  return (ratios[ratios.size() / 2].first - 1.0) * 100.0;
+}
+
+void run_trace_suite() {
+  constexpr int kNpes = 4;
+  // Short reps, many of them: on the one-core host the kernel's
+  // preemption quantum is in the same millisecond range as a rep, so a
+  // ~1.5 ms rep often lands between preemptions while a long rep always
+  // absorbs several — and the median paired ratio then has a majority of
+  // clean samples to settle on.
+  constexpr int kReps = 21;
+  constexpr int kOneDeepMsgs = 2000;
+  constexpr int kWindow = 16;
+  constexpr int kMsgsPerBall = 1250;
+  constexpr int kBcastPerPe = 10000;
+
+  std::printf(
+      "# tracing overhead: paired trace off/on reps, median cpu-time ratio "
+      "of %d (npes=%d)\n",
+      kReps, kNpes);
+  std::vector<mfc::bench::MsgBenchRow> rows;
+  // The acceptance row: classic 1-deep latency pingpong, where each
+  // message pays a real cross-PE round trip. Two PEs (one ball): with the
+  // host's single core, every extra PE thread multiplies kernel-scheduler
+  // churn that swamps the ~35 ns/leg under test. The windowed variant
+  // below is the worst case — the ~70 ns/msg inline fast path where three
+  // timestamped events cost a visible fraction by construction.
+  const double pingpong_pct = paired_overhead_pct(kReps, 2, [&] {
+    return run_pingpong("pingpong", 2, false, 1, kOneDeepMsgs);
+  }, rows);
+  const double windowed_pct = paired_overhead_pct(kReps, kNpes, [&] {
+    return run_pingpong("pingpong_windowed", kNpes, false, kWindow,
+                        kMsgsPerBall);
+  }, rows);
+  const double bcast_pct = paired_overhead_pct(kReps, kNpes, [&] {
+    return run_broadcast_storm(kNpes, false, kBcastPerPe);
+  }, rows);
+  std::printf("# %-16s tracing-on overhead (cpu): %s%%\n", "pingpong",
+              mfc::format_double(pingpong_pct, 1).c_str());
+  std::printf("# %-16s tracing-on overhead (cpu): %s%%\n", "pingpong_windowed",
+              mfc::format_double(windowed_pct, 1).c_str());
+  std::printf("# %-16s tracing-on overhead (cpu): %s%%\n", "broadcast_storm",
+              mfc::format_double(bcast_pct, 1).c_str());
+  if (!mfc::bench::write_msg_bench_json("BENCH_trace.json", "trace_overhead",
+                                        rows)) {
+    std::fprintf(stderr, "warning: could not write BENCH_trace.json\n");
+  }
+  std::printf("\n");
+}
+
 }  // namespace conv_bench
 
 }  // namespace
@@ -411,6 +521,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   conv_bench::run_converse_suite();
+  conv_bench::run_trace_suite();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <vector>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
 #include "ult/scheduler.h"
 #include "util/check.h"
 
@@ -62,6 +64,15 @@ std::atomic<std::uint64_t> g_epoch{0};
 State* state() {
   return const_cast<State*>(static_cast<const State*>(
       detail::g_state.load(std::memory_order_acquire)));
+}
+
+/// Every fired injection is traced (tagged with the master seed, so a
+/// replayed timeline is self-describing) and counted in the registry.
+void record_fired(State& s, Point p) {
+  s.fired[static_cast<int>(p)].fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(metrics::Counter::kChaosInjections);
+  trace::emit(trace::Ev::kChaosInject, s.seed, 0, 0, -1,
+              static_cast<std::uint8_t>(p));
 }
 
 double probability(const Config& c, Point p) {
@@ -168,9 +179,7 @@ bool should_inject(Point p) {
     std::lock_guard<std::mutex> lock(s->external_mu);
     fire = s->external.point[static_cast<int>(p)].next_double() < prob;
   }
-  if (fire) {
-    s->fired[static_cast<int>(p)].fetch_add(1, std::memory_order_relaxed);
-  }
+  if (fire) record_fired(*s, p);
   return fire;
 }
 
@@ -203,9 +212,7 @@ bool keyed_inject(Point p, std::uint64_t key) {
   double prob = probability(s->cfg, p);
   if (prob <= 0.0) return false;
   bool fire = keyed_rng(*s, p, key).next_double() < prob;
-  if (fire) {
-    s->fired[static_cast<int>(p)].fetch_add(1, std::memory_order_relaxed);
-  }
+  if (fire) record_fired(*s, p);
   return fire;
 }
 

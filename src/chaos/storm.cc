@@ -18,6 +18,8 @@
 #include "migrate/memalias_thread.h"
 #include "migrate/stackcopy_thread.h"
 #include "pup/pup.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 #include "ult/scheduler.h"
 #include "util/check.h"
 #include "util/digest.h"
@@ -435,6 +437,27 @@ void register_storm_handlers() {
   });
 }
 
+/// Labels the trace with the storm's replay coordinates, so a timeline on
+/// its own carries everything needed to reproduce the run it came from.
+void set_storm_meta(const StormOptions& opt) {
+  if (!trace::enabled()) return;
+  char buf[64];
+  auto put = [&buf](const char* key, unsigned long long v) {
+    std::snprintf(buf, sizeof buf, "%llu", v);
+    trace::set_meta(key, buf);
+  };
+  put("chaos_seed", seed());  // post-install: reflects MFC_CHAOS_SEED override
+  put("storm_seed", opt.seed);
+  put("rounds", static_cast<unsigned long long>(opt.rounds));
+  put("workers", static_cast<unsigned long long>(opt.workers));
+  put("npes", static_cast<unsigned long long>(opt.npes));
+  int mix[3] = {0, 0, 0};
+  for (int w = 0; w < opt.workers; ++w) ++mix[w % 3];
+  std::snprintf(buf, sizeof buf, "stackcopy:%d,iso:%d,memalias:%d", mix[0],
+                mix[1], mix[2]);
+  trace::set_meta("technique_mix", buf);
+}
+
 // ---- PE0 checker ------------------------------------------------------------
 
 void checker_main(charm::ArrayBase* array) {
@@ -497,6 +520,7 @@ void checker_main(charm::ArrayBase* array) {
 
     g->arrivals = 0;
     STORM_TRACE("checker: round %d release", r);
+    trace::emit(trace::Ev::kStormRound, 0, static_cast<std::uint32_t>(r));
     converse::broadcast(h_release, pup::to_bytes(std::int32_t{r}));
   }
 
@@ -529,7 +553,10 @@ void storm_entry(int pe) {
 
   charm::Array<StormElement> array(kArrayId, opt.array_elements);
   converse::barrier();
-  if (pe == 0) g->slots_prestorm = total_used_slots(opt.npes);
+  if (pe == 0) {
+    g->slots_prestorm = total_used_slots(opt.npes);
+    set_storm_meta(opt);
+  }
   converse::barrier();  // baseline read strictly before any worker spawns
 
   for (int w = 0; w < opt.workers; ++w) {
@@ -583,6 +610,13 @@ StormReport run_storm(const StormOptions& options) {
   if (options.use_proc_transport) g->transport = new ProcTransport();
   g_storm = g.get();
 
+  // Own a trace session unless the caller already holds one. Starting it
+  // here (not leaving it to Machine::run's env auto-start) lets the storm
+  // export to its own path and fold the summary into the report.
+  const bool own_trace =
+      (options.trace || trace::env_enabled()) && !trace::active();
+  if (own_trace) trace::start(options.npes);
+
   converse::Machine::Config mc;
   mc.npes = options.npes;
   mc.iso_slot_bytes = options.iso_slot_bytes;
@@ -602,6 +636,28 @@ StormReport run_storm(const StormOptions& options) {
   rep.counter_failures = g->counter_failures.load();
   const converse::PoolStats ps = converse::pool_stats();
   rep.pool_balanced = ps.allocated == ps.freed;
+  for (int t = 0; t < 3; ++t) {
+    rep.packs_by_technique[t] = metrics::total(static_cast<metrics::Counter>(
+        static_cast<int>(metrics::Counter::kPackStackCopy) + t));
+  }
+  if (own_trace) {
+    const std::string path = options.trace_file != nullptr
+                                 ? std::string(options.trace_file)
+                             : trace::env_enabled() ? trace::env_file()
+                                                    : "storm_trace.json";
+    const trace::Summary sum = trace::stop_and_export(path);
+    rep.traced = true;
+    rep.trace_events = sum.emitted;
+    rep.trace_dropped = sum.dropped;
+    // Deterministic subset only: message/handler/chaos counts vary with
+    // delivery timing, but creates, pack/unpack phases, slot traffic, and
+    // round markers replay exactly from (options, chaos seed).
+    rep.trace_digest = sum.digest(
+        {trace::Ev::kUltCreate, trace::Ev::kMigratePackBegin,
+         trace::Ev::kMigratePackEnd, trace::Ev::kMigrateUnpackBegin,
+         trace::Ev::kMigrateUnpackEnd, trace::Ev::kIsoSlotAcquire,
+         trace::Ev::kIsoSlotRelease, trace::Ev::kStormRound});
+  }
   if (g->transport != nullptr) {
     rep.transport_respawns = g->transport->respawns();
     delete g->transport;

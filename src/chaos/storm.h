@@ -45,6 +45,14 @@ struct StormOptions {
   /// Round-trip every packed thread image through the forked relay
   /// (Point::kTransportKill becomes live).
   bool use_proc_transport = false;
+  /// Record a trace of the storm and export Chrome trace-event JSON at the
+  /// end (MFC_TRACE=1 in the environment has the same effect). The trace is
+  /// labelled with the chaos seed / technique mix / round count, so two
+  /// same-seed runs yield directly diffable timelines.
+  bool trace = false;
+  /// Export path when tracing; nullptr falls back to MFC_TRACE_FILE, then
+  /// "storm_trace.json".
+  const char* trace_file = nullptr;
   /// Installed via Machine::Config for the duration of the storm.
   Config chaos;
 };
@@ -69,6 +77,19 @@ struct StormReport {
   /// Folds every worker's seed-derived history; bit-identical across runs
   /// with equal options (the determinism probe tests compare this).
   std::uint64_t workload_digest = 0;
+
+  /// Tracing results (zero unless the storm owned a trace session).
+  bool traced = false;
+  std::uint64_t trace_events = 0;   ///< total events emitted
+  std::uint64_t trace_dropped = 0;  ///< overwritten by ring drop-oldest
+  /// Event-count digest over the deterministic event classes (thread
+  /// creates, pack/unpack by phase, iso slot traffic, round markers) —
+  /// equal across two same-seed runs; message/handler counts are excluded
+  /// because stale-routing bounces make them timing-dependent.
+  std::uint64_t trace_digest = 0;
+  /// Thread packs by technique (stack-copy, isomalloc, memalias), read
+  /// from the metrics registry; filled whether or not tracing is on.
+  std::uint64_t packs_by_technique[3] = {};
 
   bool clean() const {
     return canary_failures == 0 && digest_mismatches == 0 && misroutes == 0 &&

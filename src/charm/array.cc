@@ -2,7 +2,10 @@
 
 #include <mutex>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
 #include "util/check.h"
+#include "util/digest.h"
 #include "util/timer.h"
 
 namespace mfc::charm {
@@ -95,6 +98,16 @@ void register_array_handlers() {
                                 msg.value);
     });
   });
+}
+
+/// Flow id tying an element's departure to its arrival: both PEs derive
+/// the same id from (array, index, hop epoch). The high bit-62 namespace
+/// keeps element flows disjoint from message and thread-migration flows.
+std::uint64_t elem_flow_id(int array_id, int index, std::uint32_t epoch) {
+  std::uint64_t h = fnv1a_mix(kFnvOffset, static_cast<std::uint64_t>(array_id));
+  h = fnv1a_mix(h, static_cast<std::uint64_t>(index));
+  h = fnv1a_mix(h, epoch);
+  return (std::uint64_t{1} << 62) | (h & ((std::uint64_t{1} << 62) - 1));
 }
 
 // Deferred self-migration: an element that calls migrate() on itself from
@@ -208,6 +221,11 @@ void ArrayBase::migrate(int index, int dest_pe) {
   const std::uint32_t epoch = it->second->hop_epoch_ + 1;
   ArriveMsg arrive{id_, index, epoch, pup::to_bytes(*it->second)};
   local_.erase(it);
+  trace::emit(trace::Ev::kElemDepart, elem_flow_id(id_, index, epoch),
+              static_cast<std::uint32_t>(index),
+              static_cast<std::uint32_t>(arrive.state.size()),
+              static_cast<std::int16_t>(dest_pe));
+  metrics::bump(metrics::Counter::kElemMigrations);
   DepartMsg depart{id_, index, epoch};
   converse::send_value(home_pe(index), h_departed, depart);
   converse::send_value(dest_pe, h_arrive, arrive);
@@ -223,6 +241,9 @@ void ArrayBase::handle_departed(int index, std::uint32_t epoch) {
 
 void ArrayBase::handle_arrive(int index, std::uint32_t epoch,
                               const std::vector<char>& state) {
+  trace::emit(trace::Ev::kElemArrive, elem_flow_id(id_, index, epoch),
+              static_cast<std::uint32_t>(index),
+              static_cast<std::uint32_t>(state.size()));
   auto elem = factory_(index);
   pup::MemUnpacker u(state.data(), state.size());
   elem->pup(u);

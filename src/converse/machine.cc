@@ -7,6 +7,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/queue.h"
@@ -33,15 +35,11 @@ std::atomic<std::uint32_t> g_handler_count{0};
 /// idle still return to the scheduler loop.
 constexpr int kMaxInlineDepth = 8;
 
-/// Message counters live one cache line per PE, written only by that PE's
-/// kernel thread (sent/qd_sent as producer, delivered/qd_delivered as
-/// consumer) — no cross-PE cache-line traffic on the hot path. Readers sum.
-struct alignas(64) PeCounters {
-  std::atomic<std::uint64_t> sent{0};
-  std::atomic<std::uint64_t> delivered{0};
-  std::atomic<std::uint64_t> qd_sent{0};
-  std::atomic<std::uint64_t> qd_delivered{0};
-};
+// Message counters live in the metrics registry (trace/metrics.h): one
+// cache-line-isolated slot per PE, written only by that PE's kernel thread
+// via single-writer bumps — the same discipline the old private PeCounters
+// had, now shared with every other instrumented layer. Readers sum slots.
+using metrics::Counter;
 
 /// Per-PE Message freelist, touched only by the owning PE's kernel thread.
 /// A consumed message is adopted into the *consuming* PE's pool rather than
@@ -57,27 +55,24 @@ struct MsgPool {
 
 /// Envelope lifecycle audit (PoolStats): every `new Message` / `delete` in
 /// this file goes through create_message/destroy_message so Machine::run
-/// can assert allocated == freed after the teardown drain. Process-scope
-/// (not MachineState) so pool_stats() stays readable after run returns.
-std::atomic<std::uint64_t> g_msgs_allocated{0};
-std::atomic<std::uint64_t> g_msgs_freed{0};
-std::atomic<std::uint64_t> g_msgs_recycled{0};
-std::atomic<std::uint64_t> g_msgs_drained{0};
-
+/// can assert allocated == freed after the teardown drain. The books live
+/// in the metrics registry (reset at run start, readable after run); the
+/// teardown path runs on the joining thread, which the registry routes to
+/// its shared slot automatically.
 Message* create_message() {
-  g_msgs_allocated.fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(Counter::kMsgsAllocated);
   return new Message();
 }
 
 void destroy_message(Message* m) {
-  g_msgs_freed.fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(Counter::kMsgsFreed);
   delete m;
 }
 
 /// Teardown-drain destruction: a message reclaimed from a queue, delay
 /// stash, or legacy inbox after the machine stopped.
 void drain_message(Message* m) {
-  g_msgs_drained.fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(Counter::kMsgsDrained);
   destroy_message(m);
 }
 
@@ -97,7 +92,6 @@ struct Pe {
   ult::Thread* barrier_waiter = nullptr;
   std::uint64_t barrier_gen = 0;
   std::vector<ult::Thread*> quiescence_waiters;
-  PeCounters counters;
   MsgPool pool;
   int inline_depth = 0;
   std::vector<Delayed> delayed;  // chaos delivery-delay stash
@@ -125,9 +119,6 @@ struct MachineState {
   std::vector<std::unique_ptr<Pe>> pes;
   std::atomic<int> mains_finished{0};
   std::atomic<bool> stop{false};
-  /// Sends from threads that are not PEs (rare; keeps the per-PE counters
-  /// single-writer).
-  alignas(64) std::atomic<std::uint64_t> external_sent{0};
   std::atomic<bool> qd_round_active{false};
   // PE0-only barrier bookkeeping (touched exclusively from PE0's loop).
   std::unordered_map<std::uint64_t, int> barrier_counts;
@@ -154,41 +145,15 @@ struct QdToken {
   void pup(pup::Er& p) { p | app_sent_at_start | hops | all_idle; }
 };
 
-std::uint64_t total_sent() {
-  std::uint64_t n = g_machine->external_sent.load(std::memory_order_relaxed);
-  for (auto& pe : g_machine->pes)
-    n += pe->counters.sent.load(std::memory_order_relaxed);
-  return n;
-}
-
+// Registry reads: per-PE slots plus the shared slot (sends from non-PE
+// threads land there, which is what keeps the PE slots single-writer).
+std::uint64_t total_sent() { return metrics::total(Counter::kMsgsSent); }
 std::uint64_t total_delivered() {
-  std::uint64_t n = 0;
-  for (auto& pe : g_machine->pes)
-    n += pe->counters.delivered.load(std::memory_order_relaxed);
-  return n;
+  return metrics::total(Counter::kMsgsDelivered);
 }
-
-std::uint64_t total_qd_sent() {
-  std::uint64_t n = 0;
-  for (auto& pe : g_machine->pes)
-    n += pe->counters.qd_sent.load(std::memory_order_relaxed);
-  return n;
-}
-
+std::uint64_t total_qd_sent() { return metrics::total(Counter::kQdSent); }
 std::uint64_t total_qd_delivered() {
-  std::uint64_t n = 0;
-  for (auto& pe : g_machine->pes)
-    n += pe->counters.qd_delivered.load(std::memory_order_relaxed);
-  return n;
-}
-
-/// Bump for single-writer per-PE counters: each counter is only ever
-/// written by its owning PE's kernel thread, so a plain load+store replaces
-/// the lock-prefixed RMW on the hot path. (The mutex_baseline path keeps
-/// fetch_add, matching the seed's behavior it stands in for.)
-void bump(std::atomic<std::uint64_t>& counter) {
-  counter.store(counter.load(std::memory_order_relaxed) + 1,
-                std::memory_order_relaxed);
+  return metrics::total(Counter::kQdDelivered);
 }
 
 std::uint64_t app_sent() { return total_sent() - total_qd_sent(); }
@@ -200,7 +165,7 @@ std::uint64_t app_delivered() {
 /// they are observing.
 void qd_send(int pe, HandlerId handler, const std::vector<char>& payload) {
   MFC_CHECK_MSG(t_pe != nullptr, "QD traffic originates on PEs");
-  bump(t_pe->counters.qd_sent);
+  metrics::bump(Counter::kQdSent);
   send(pe, handler, payload);
 }
 
@@ -238,7 +203,7 @@ Message* pool_acquire(Pe* pe) {
     }
     Message* m = pool.cache.back();
     pool.cache.pop_back();
-    g_msgs_recycled.fetch_add(1, std::memory_order_relaxed);
+    metrics::bump(Counter::kMsgsRecycled);
     return m;
   }
   Message* m = create_message();
@@ -249,8 +214,13 @@ Message* pool_acquire(Pe* pe) {
 /// Fast-path delivery: one acquire load for the handler, no lock.
 void dispatch(Message* m) {
   HandlerFn* fn = handler_lookup(m->handler);
-  bump(t_pe->counters.delivered);
+  metrics::bump(Counter::kMsgsDelivered);
+  const HandlerId h = m->handler;
+  trace::emit(trace::Ev::kHandlerBegin, m->trace_flow, h,
+              static_cast<std::uint32_t>(m->payload.size()),
+              static_cast<std::int16_t>(m->src_pe));
   (*fn)(std::move(*m));
+  trace::emit(trace::Ev::kHandlerEnd, 0, h);
   release_message(m);
 }
 
@@ -262,8 +232,13 @@ void dispatch_value(Message&& m) {
     std::lock_guard<std::mutex> lock(g_register_mutex);
     fn = handler_lookup(m.handler);
   }
-  t_pe->counters.delivered.fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(Counter::kMsgsDelivered);
+  const HandlerId h = m.handler;
+  trace::emit(trace::Ev::kHandlerBegin, m.trace_flow, h,
+              static_cast<std::uint32_t>(m.payload.size()),
+              static_cast<std::int16_t>(m.src_pe));
   (*fn)(std::move(m));
+  trace::emit(trace::Ev::kHandlerEnd, 0, h);
 }
 
 /// Dispatches every stashed message whose due tick has passed, in stash
@@ -287,9 +262,12 @@ bool release_due_delayed(Pe* pe) {
 void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
   t_pe = pe;
   ult::Scheduler::set_current(&pe->sched);
-  // Bind this PE's chaos decision streams and (in deterministic-schedule
-  // mode) hand the scheduler its seeded choice RNG. Both are no-ops when
-  // chaos is not installed.
+  // Bind this kernel thread to its per-PE metrics slot and trace ring
+  // (no-ops when the registry is unsized / no trace session is active),
+  // plus the PE's chaos decision streams and — in deterministic-schedule
+  // mode — the scheduler's seeded choice RNG.
+  metrics::bind_pe(pe->id);
+  trace::bind_pe(pe->id);
   chaos::bind_stream(pe->id);
   pe->sched.set_choice_rng(chaos::sched_choice_rng());
 
@@ -360,6 +338,8 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
 
   pe->sched.set_choice_rng(nullptr);
   chaos::unbind_stream();
+  trace::unbind_pe();
+  metrics::unbind_pe();
   ult::Scheduler::set_current(nullptr);
   t_pe = nullptr;
 }
@@ -391,12 +371,12 @@ void register_builtin_handlers() {
     // visit AND the application send/deliver counts were equal and
     // unchanged across the whole round, the machine is quiet.
     h_qd_start = register_handler([](Message&&) {
-      bump(t_pe->counters.qd_delivered);
+      metrics::bump(Counter::kQdDelivered);
       MFC_CHECK(t_pe->id == 0);
       if (!g_machine->qd_round_active.exchange(true)) qd_start_round();
     });
     h_qd_token = register_handler([](Message&& m) {
-      bump(t_pe->counters.qd_delivered);
+      metrics::bump(Counter::kQdDelivered);
       auto token = m.as<QdToken>();
       Pe* pe = t_pe;
       if (token.hops == g_machine->npes) {
@@ -421,7 +401,7 @@ void register_builtin_handlers() {
               pup::to_bytes(token));
     });
     h_qd_release = register_handler([](Message&&) {
-      bump(t_pe->counters.qd_delivered);
+      metrics::bump(Counter::kQdDelivered);
       Pe* pe = t_pe;
       for (ult::Thread* t : pe->quiescence_waiters) pe->sched.ready(t);
       pe->quiescence_waiters.clear();
@@ -451,11 +431,16 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   const bool owns_chaos = config.chaos.enabled && !chaos::enabled();
   if (owns_chaos) chaos::install(config.chaos);
 
-  // Fresh envelope books for this run; pool_stats() reads them after.
-  g_msgs_allocated.store(0, std::memory_order_relaxed);
-  g_msgs_freed.store(0, std::memory_order_relaxed);
-  g_msgs_recycled.store(0, std::memory_order_relaxed);
-  g_msgs_drained.store(0, std::memory_order_relaxed);
+  // Fresh books for this run; pool_stats()/metrics::snapshot() read them
+  // after the machine returns.
+  metrics::reset(config.npes);
+
+  // Env-gated tracing (MFC_TRACE=1): if no explicit session is active, the
+  // machine records this run and exports at shutdown, so any test or bench
+  // can be traced without code changes. An explicit session started by the
+  // caller (storm driver, trace tests) is left for its owner to export.
+  const bool owns_trace = trace::env_enabled() && !trace::active();
+  if (owns_trace) trace::start(config.npes);
 
   const bool owns_region =
       config.iso_slots_per_pe > 0 && !iso::Region::initialized();
@@ -491,12 +476,13 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   g_machine = nullptr;
   if (owns_region) iso::Region::shutdown();
   if (owns_chaos) chaos::uninstall();
+  if (owns_trace) trace::stop_and_export(trace::env_file());
 
   // The shutdown-leak invariant: every envelope this run allocated came
   // back through destroy_message — including messages still queued in peer
   // inboxes or chaos delay stashes when the last main finished.
-  MFC_CHECK_MSG(g_msgs_allocated.load(std::memory_order_relaxed) ==
-                    g_msgs_freed.load(std::memory_order_relaxed),
+  MFC_CHECK_MSG(metrics::total(metrics::Counter::kMsgsAllocated) ==
+                    metrics::total(metrics::Counter::kMsgsFreed),
                 "message envelopes leaked at machine shutdown");
 }
 
@@ -532,11 +518,18 @@ void send_message(int dest_pe, HandlerId handler, Message* m) {
   m->handler = handler;
   m->src_pe = t_pe != nullptr ? t_pe->id : -1;
   m->dest_pe = dest_pe;
-  if (t_pe != nullptr) {
-    bump(t_pe->counters.sent);
-  } else {
-    g_machine->external_sent.fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(Counter::kMsgsSent);
+  // Cross-PE sends get a flow id so the exporter can draw an arrow from
+  // this send to the remote dispatch; assigned per send (recycled
+  // envelopes carry stale ids otherwise). The inline enabled() test keeps
+  // the tracing-off cost to the same predictable branch emit() pays.
+  m->trace_flow = 0;
+  if (trace::enabled() && m->src_pe >= 0 && m->src_pe != dest_pe) {
+    m->trace_flow = trace::next_flow_id();
   }
+  trace::emit(trace::Ev::kMsgSend, m->trace_flow, handler,
+              static_cast<std::uint32_t>(m->payload.size()),
+              static_cast<std::int16_t>(dest_pe));
   Pe& dest = *g_machine->pes[static_cast<std::size_t>(dest_pe)];
 
   if (g_machine->mutex_baseline) {
@@ -614,10 +607,10 @@ std::uint64_t messages_delivered() {
 
 PoolStats pool_stats() {
   PoolStats s;
-  s.allocated = g_msgs_allocated.load(std::memory_order_relaxed);
-  s.freed = g_msgs_freed.load(std::memory_order_relaxed);
-  s.recycled = g_msgs_recycled.load(std::memory_order_relaxed);
-  s.drained_at_shutdown = g_msgs_drained.load(std::memory_order_relaxed);
+  s.allocated = metrics::total(metrics::Counter::kMsgsAllocated);
+  s.freed = metrics::total(metrics::Counter::kMsgsFreed);
+  s.recycled = metrics::total(metrics::Counter::kMsgsRecycled);
+  s.drained_at_shutdown = metrics::total(metrics::Counter::kMsgsDrained);
   return s;
 }
 

@@ -113,6 +113,9 @@ struct Message {
   // held it — the consuming PE adopts it on release).
   std::int32_t pool_pe = -1;
   Message* next = nullptr;
+  /// Trace flow id tying this send to its remote dispatch (0 = untraced or
+  /// local; assigned per send, so recycling needs no cleanup).
+  std::uint64_t trace_flow = 0;
 
   Payload payload;
 

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "chaos/chaos.h"
+#include "trace/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -80,6 +81,10 @@ SlotId Region::try_acquire(int pe, std::uint32_t count) {
     strip.search_hint = (start + count) % n;
     SlotId id{pe, start, count};
     install(id);
+    // Only the success path traces: injected strip-exhaustion retries must
+    // not perturb the replay-deterministic event counts.
+    trace::emit(trace::Ev::kIsoSlotAcquire, 0, start, count,
+                static_cast<std::int16_t>(pe));
     return id;
   }
   return SlotId{};
@@ -99,6 +104,8 @@ SlotId Region::acquire(int pe, std::uint32_t count) {
 
 void Region::release(SlotId id) {
   MFC_CHECK(id.valid());
+  trace::emit(trace::Ev::kIsoSlotRelease, 0, id.index, id.count,
+              static_cast<std::int16_t>(id.pe));
   evacuate(id);
   Strip& strip = strips_[static_cast<std::size_t>(id.pe)];
   std::lock_guard<std::mutex> lock(strip.mutex);

@@ -32,6 +32,9 @@ void IsoThread::on_switch_out() { iso::set_current_heap(nullptr); }
 ThreadImage IsoThread::pack() {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
                 "pack() requires a suspended thread");
+  trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
+              trace_tag(Technique::kIsomalloc));
+  metrics::bump(pack_counter(Technique::kIsomalloc));
   iso::Region& region = iso::Region::instance();
 
   ThreadImage image;
@@ -65,6 +68,11 @@ ThreadImage IsoThread::pack() {
   delete heap_;
   heap_ = nullptr;
   migrated_away_ = true;
+  std::size_t wire = 0;
+  for (const std::vector<char>& run : image.slot_data) wire += run.size();
+  trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,
+              static_cast<std::uint32_t>(wire), -1,
+              trace_tag(Technique::kIsomalloc));
   return image;
 }
 

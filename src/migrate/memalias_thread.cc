@@ -72,6 +72,9 @@ void MemAliasThread::on_switch_out() {
 ThreadImage MemAliasThread::pack() {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
                 "pack() requires a suspended thread");
+  trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
+              trace_tag(Technique::kMemAlias));
+  metrics::bump(pack_counter(Technique::kMemAlias));
   CommonStackArena& arena = CommonStackArena::instance();
   arena.clear_occupant_if(this);
   ThreadImage image;
@@ -86,6 +89,9 @@ ThreadImage MemAliasThread::pack() {
   MFC_CHECK(r == static_cast<ssize_t>(stack_bytes_));
   close(backing_fd_);
   backing_fd_ = -1;
+  trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,
+              static_cast<std::uint32_t>(image.stack_bytes.size()), -1,
+              trace_tag(Technique::kMemAlias));
   return image;
 }
 

@@ -17,16 +17,32 @@ const char* to_string(Technique t) {
 }
 
 MigratableThread* MigratableThread::unpack(ThreadImage image, int dest_pe) {
-  switch (image.technique) {
+  const Technique technique = image.technique;
+  const std::uint64_t thread_id = image.thread_id;
+  std::size_t wire = image.stack_bytes.size();
+  for (const std::vector<char>& run : image.slot_data) wire += run.size();
+  // The unpack span closes the migration flow arrow the pack span opened
+  // (the exporter keys it on the thread id, which survives the trip).
+  trace::emit(trace::Ev::kMigrateUnpackBegin, thread_id, 0, 0, -1,
+              trace_tag(technique));
+  metrics::bump(unpack_counter(technique));
+
+  MigratableThread* t = nullptr;
+  switch (technique) {
     case Technique::kIsomalloc:
-      return IsoThread::from_image(std::move(image), dest_pe);
+      t = IsoThread::from_image(std::move(image), dest_pe);
+      break;
     case Technique::kStackCopy:
-      return StackCopyThread::from_image(std::move(image));
+      t = StackCopyThread::from_image(std::move(image));
+      break;
     case Technique::kMemAlias:
-      return MemAliasThread::from_image(std::move(image));
+      t = MemAliasThread::from_image(std::move(image));
+      break;
   }
-  MFC_CHECK_MSG(false, "corrupt thread image: unknown technique");
-  return nullptr;
+  MFC_CHECK_MSG(t != nullptr, "corrupt thread image: unknown technique");
+  trace::emit(trace::Ev::kMigrateUnpackEnd, thread_id, 0,
+              static_cast<std::uint32_t>(wire), -1, trace_tag(technique));
+  return t;
 }
 
 }  // namespace mfc::migrate

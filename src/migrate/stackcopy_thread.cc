@@ -58,6 +58,9 @@ void StackCopyThread::on_switch_out() {
 ThreadImage StackCopyThread::pack() {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
                 "pack() requires a suspended thread");
+  trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
+              trace_tag(Technique::kStackCopy));
+  metrics::bump(pack_counter(Technique::kStackCopy));
   CommonStackArena& arena = CommonStackArena::instance();
   ThreadImage image;
   image.technique = Technique::kStackCopy;
@@ -67,6 +70,9 @@ ThreadImage StackCopyThread::pack() {
   image.stack_bytes = saved_;
   image.stack_capacity = stack_bytes_;
   image.arena_base = reinterpret_cast<std::uint64_t>(arena.base());
+  trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,
+              static_cast<std::uint32_t>(image.stack_bytes.size()), -1,
+              trace_tag(Technique::kStackCopy));
   return image;
 }
 

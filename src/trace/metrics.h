@@ -1,0 +1,86 @@
+// Machine-wide metrics registry.
+//
+// One named counter set, stored as per-PE cache-line-isolated slots plus a
+// shared slot for threads that never bind (the machine teardown path, test
+// main threads). Replaces the ad-hoc counter globals that used to live in
+// converse/machine.cc so benches, tests, and the storm driver read one
+// snapshot/merge API instead of N private bookkeeping schemes.
+//
+// Write discipline mirrors the messaging layer: a counter slot is written
+// only by its owning PE's kernel thread, so bump() on a bound thread is a
+// relaxed load+store — no lock-prefixed RMW on the hot path. Unbound
+// threads fall back to fetch_add on the shared slot (cold paths only).
+#pragma once
+
+#include <cstdint>
+
+namespace mfc::metrics {
+
+enum class Counter : int {
+  // Messaging (converse layer).
+  kMsgsSent = 0,
+  kMsgsDelivered,
+  kQdSent,       ///< quiescence-detection system traffic, counted apart
+  kQdDelivered,
+  kMsgsAllocated,  ///< envelope lifecycle books (pool audit)
+  kMsgsFreed,
+  kMsgsRecycled,
+  kMsgsDrained,  ///< reclaimed from queues/stashes at shutdown
+  // Thread migration packs/unpacks by technique (paper §3.4).
+  kPackStackCopy,
+  kPackIso,
+  kPackMemAlias,
+  kUnpackStackCopy,
+  kUnpackIso,
+  kUnpackMemAlias,
+  // Higher layers.
+  kElemMigrations,  ///< chare-array element departures
+  kLbMigrations,    ///< migrations ordered by the LB strategy
+  kChaosInjections,
+  kCount,
+};
+constexpr int kCounterCount = static_cast<int>(Counter::kCount);
+
+const char* to_string(Counter c);
+
+/// Zeroes every slot and (re)sizes to `npes` per-PE slots + 1 shared slot.
+/// Must be called while no PE loop is running (Machine::run start does).
+/// Values persist after the machine stops until the next reset, so
+/// post-run reads (pool audits, bench reports) see the final books.
+void reset(int npes);
+
+/// PE slots currently allocated (0 before the first reset).
+int npes();
+
+/// Binds the calling kernel thread to PE `pe`'s slot; out-of-range or
+/// pre-reset binds leave the thread on the shared slot.
+void bind_pe(int pe);
+void unbind_pe();
+
+/// Increments `c` by `n`: single-writer store on the bound PE slot, shared
+/// fetch_add otherwise. Drops silently before the first reset.
+void bump(Counter c, std::uint64_t n = 1);
+
+/// Sum over all PE slots plus the shared slot.
+std::uint64_t total(Counter c);
+
+/// One PE's slot value (shared slot excluded); 0 if out of range.
+std::uint64_t pe_value(Counter c, int pe);
+
+/// Point-in-time copy of the merged counters — the one API benches, tests,
+/// and the storm driver use instead of scraping layer-private globals.
+struct Snapshot {
+  std::uint64_t v[kCounterCount] = {};
+
+  std::uint64_t operator[](Counter c) const {
+    return v[static_cast<int>(c)];
+  }
+  /// Counter deltas since `since` (per-counter saturating at 0).
+  Snapshot diff(const Snapshot& since) const;
+  /// Element-wise accumulate (merging snapshots from separate runs).
+  void merge(const Snapshot& other);
+};
+
+Snapshot snapshot();
+
+}  // namespace mfc::metrics

@@ -1,0 +1,538 @@
+#include "trace/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
+#include "util/digest.h"
+
+namespace mfc::trace {
+
+namespace detail {
+bool g_on = false;
+}
+
+namespace {
+
+// 8Ki records (256 KB) per PE: ~4x the event volume of a full storm run,
+// and small enough to stay cache-resident — a larger default measurably
+// slows traced runs by streaming cold lines through the cache (the 64Ki
+// default this replaced cost ~3% extra on the pingpong overhead bench).
+// Deep triage windows opt in via MFC_TRACE_CAP.
+constexpr std::size_t kDefaultRingCap = std::size_t{1} << 13;
+
+struct Session {
+  std::vector<std::unique_ptr<Ring>> rings;
+  // rdtsc ↔ steady_clock calibration samples. ns_per_tick is computed once
+  // at stop from (steady elapsed / tsc elapsed) — one long baseline beats
+  // a short warm-up measurement.
+  std::uint64_t tsc0 = 0;
+  std::chrono::steady_clock::time_point wall0;
+  std::map<std::string, std::string> meta;
+  std::mutex meta_mu;
+};
+
+Session* g_session = nullptr;
+Summary g_last;
+
+std::size_t env_ring_cap() {
+  if (const char* env = std::getenv("MFC_TRACE_CAP");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return kDefaultRingCap;
+}
+
+Summary summarize(const Session& s) {
+  Summary out;
+  out.npes = static_cast<int>(s.rings.size());
+  for (const auto& ring : s.rings) {
+    for (int e = 0; e < kEvCount; ++e) {
+      out.by_type[e] += ring->count(static_cast<Ev>(e));
+    }
+    out.retained += ring->size();
+    out.dropped += ring->dropped();
+  }
+  for (int e = 0; e < kEvCount; ++e) out.emitted += out.by_type[e];
+  return out;
+}
+
+void teardown(Session* s) {
+  detail::g_epoch.fetch_add(1, std::memory_order_relaxed);
+  delete s;
+  g_session = nullptr;
+}
+
+// ---- Chrome trace-event JSON export --------------------------------------
+//
+// All numbers are printed with integer math (no %f) so the output is
+// byte-identical under any LC_NUMERIC — a trace written under de_DE must
+// not contain `1,5`.
+
+/// Appends `s` JSON-escaped (quotes, backslashes, control chars).
+void json_escape(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    unsigned char u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  /// Starts one trace event object; follow with field() calls + done().
+  void event(const char* name, char phase, int tid, std::uint64_t ts_ns) {
+    std::string esc;
+    json_escape(esc, name);
+    std::fprintf(f_, "%s{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":0,\"tid\":%d,"
+                 "\"ts\":%llu.%03llu",
+                 first_ ? "" : ",\n", esc.c_str(), phase, tid,
+                 static_cast<unsigned long long>(ts_ns / 1000),
+                 static_cast<unsigned long long>(ts_ns % 1000));
+    first_ = false;
+  }
+  void raw(const char* key, const char* value) {
+    std::fprintf(f_, ",\"%s\":%s", key, value);
+  }
+  void num(const char* key, long long value) {
+    std::fprintf(f_, ",\"%s\":%lld", key, value);
+  }
+  /// Flow-event id as a hex string: ids use high bits for namespacing and
+  /// would lose precision as JSON doubles.
+  void id(std::uint64_t v) {
+    std::fprintf(f_, ",\"id\":\"0x%llx\"",
+                 static_cast<unsigned long long>(v));
+  }
+  void args_begin() { std::fprintf(f_, ",\"args\":{"); }
+  void arg_num(const char* key, long long value, bool first = false) {
+    std::fprintf(f_, "%s\"%s\":%lld", first ? "" : ",", key, value);
+  }
+  void args_end() { std::fprintf(f_, "}"); }
+  void done() { std::fprintf(f_, "}"); }
+
+ private:
+  std::FILE* f_;
+  bool first_ = true;
+};
+
+const char* technique_name(std::uint8_t c) {
+  switch (c) {
+    case 1: return "stackcopy";
+    case 2: return "iso";
+    case 3: return "memalias";
+  }
+  return "?";
+}
+
+/// Per-PE export pass. Records are already chronological (single writer,
+/// monotonic per-core rdtsc); a per-track clamp keeps B/E sane if the
+/// kernel migrated the PE thread across cores with unsynced TSCs.
+void export_ring(JsonWriter& w, const Ring& ring, std::uint64_t tsc0,
+                 double ns_per_tick) {
+  const int tid = ring.pe();
+  std::vector<std::string> open;  // names of open B slices, innermost last
+  std::uint64_t last_ns = 0;
+  char name[64];
+
+  auto to_ns = [&](std::uint64_t tsc) {
+    double ns = tsc >= tsc0
+                    ? static_cast<double>(tsc - tsc0) * ns_per_tick
+                    : 0.0;
+    auto v = static_cast<std::uint64_t>(ns < 0.0 ? 0.0 : ns);
+    if (v < last_ns) v = last_ns;  // keep each track monotonic
+    last_ns = v;
+    return v;
+  };
+
+  auto begin = [&](const char* n, std::uint64_t ns) {
+    w.event(n, 'B', tid, ns);
+    open.emplace_back(n);
+  };
+  // Drop-oldest truncation can orphan an E whose B wrapped out of the ring;
+  // close only when the innermost open slice matches, else skip the E.
+  auto end = [&](const char* n, std::uint64_t ns) -> bool {
+    if (open.empty() || open.back() != n) return false;
+    open.pop_back();
+    w.event(n, 'E', tid, ns);
+    return true;
+  };
+
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Record& r = ring.at(i);
+    const std::uint64_t ns = to_ns(r.tsc);
+    switch (static_cast<Ev>(r.ev)) {
+      case Ev::kHandlerBegin:
+        std::snprintf(name, sizeof(name), "handler#%u", r.a);
+        begin(name, ns);
+        w.args_begin();
+        w.arg_num("handler", r.a, true);
+        w.arg_num("bytes", r.size);
+        if (r.b >= 0) w.arg_num("src", r.b);
+        w.args_end();
+        w.done();
+        if (r.arg != 0) {  // cross-PE message: finish the flow arrow here
+          w.event("msg", 'f', tid, ns);
+          w.raw("cat", "\"flow\"");
+          w.raw("bp", "\"e\"");
+          w.id(r.arg);
+          w.done();
+        }
+        break;
+      case Ev::kHandlerEnd:
+        std::snprintf(name, sizeof(name), "handler#%u", r.a);
+        if (end(name, ns)) w.done();
+        break;
+      case Ev::kMsgSend:
+        w.event("send", 'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.args_begin();
+        w.arg_num("dest", r.b, true);
+        w.arg_num("bytes", r.size);
+        w.arg_num("handler", r.a);
+        w.args_end();
+        w.done();
+        if (r.arg != 0) {  // flow start binds to the enclosing slice
+          w.event("msg", 's', tid, ns);
+          w.raw("cat", "\"flow\"");
+          w.id(r.arg);
+          w.done();
+        }
+        break;
+      case Ev::kUltSwitchIn:
+        std::snprintf(name, sizeof(name), "ult#%llu",
+                      static_cast<unsigned long long>(r.arg));
+        begin(name, ns);
+        w.done();
+        break;
+      case Ev::kUltSwitchOut:
+        std::snprintf(name, sizeof(name), "ult#%llu",
+                      static_cast<unsigned long long>(r.arg));
+        if (end(name, ns)) w.done();
+        break;
+      case Ev::kMigratePackBegin:
+      case Ev::kMigrateUnpackBegin: {
+        const bool pack = static_cast<Ev>(r.ev) == Ev::kMigratePackBegin;
+        std::snprintf(name, sizeof(name), "%s:%s", pack ? "pack" : "unpack",
+                      technique_name(r.c));
+        begin(name, ns);
+        w.args_begin();
+        w.arg_num("thread", static_cast<long long>(r.arg), true);
+        w.args_end();
+        w.done();
+        if (!pack) {  // migration flow arrow lands on the unpack slice
+          w.event("migrate", 'f', tid, ns);
+          w.raw("cat", "\"migrate\"");
+          w.raw("bp", "\"e\"");
+          w.id((std::uint64_t{1} << 63) | r.arg);
+          w.done();
+        }
+        break;
+      }
+      case Ev::kMigratePackEnd:
+      case Ev::kMigrateUnpackEnd: {
+        const bool pack = static_cast<Ev>(r.ev) == Ev::kMigratePackEnd;
+        std::snprintf(name, sizeof(name), "%s:%s", pack ? "pack" : "unpack",
+                      technique_name(r.c));
+        if (end(name, ns)) {
+          w.args_begin();
+          w.arg_num("bytes", r.size, true);
+          w.args_end();
+          w.done();
+        }
+        if (pack) {  // migration flow departs from the pack slice
+          w.event("migrate", 's', tid, ns);
+          w.raw("cat", "\"migrate\"");
+          w.id((std::uint64_t{1} << 63) | r.arg);
+          w.done();
+        }
+        break;
+      }
+      case Ev::kElemDepart:
+      case Ev::kElemArrive: {
+        const bool depart = static_cast<Ev>(r.ev) == Ev::kElemDepart;
+        w.event(depart ? "elem-depart" : "elem-arrive", 'X', tid, ns);
+        w.raw("dur", "0.500");  // sliver wide enough to anchor a flow arrow
+        w.args_begin();
+        w.arg_num("index", r.a, true);
+        if (r.b >= 0) w.arg_num("peer", r.b);
+        w.args_end();
+        w.done();
+        if (r.arg != 0) {
+          w.event("elem", depart ? 's' : 'f', tid, ns);
+          w.raw("cat", "\"elem\"");
+          if (!depart) w.raw("bp", "\"e\"");
+          w.id(r.arg);
+          w.done();
+        }
+        break;
+      }
+      case Ev::kUltCreate:
+      case Ev::kUltSuspend:
+      case Ev::kUltResume: {
+        const char* what =
+            static_cast<Ev>(r.ev) == Ev::kUltCreate
+                ? "ult-create"
+                : static_cast<Ev>(r.ev) == Ev::kUltSuspend ? "ult-suspend"
+                                                           : "ult-resume";
+        w.event(what, 'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.args_begin();
+        w.arg_num("thread", static_cast<long long>(r.arg), true);
+        w.args_end();
+        w.done();
+        break;
+      }
+      case Ev::kIsoSlotAcquire:
+      case Ev::kIsoSlotRelease:
+        w.event(static_cast<Ev>(r.ev) == Ev::kIsoSlotAcquire ? "iso-acquire"
+                                                             : "iso-release",
+                'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.args_begin();
+        w.arg_num("slot", r.a, true);
+        w.arg_num("count", r.size);
+        w.args_end();
+        w.done();
+        break;
+      case Ev::kLbDecision:
+        w.event("lb-decision", 'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.args_begin();
+        w.arg_num("migrations", r.a, true);
+        w.args_end();
+        w.done();
+        break;
+      case Ev::kChaosInject:
+        std::snprintf(name, sizeof(name), "chaos#%u", r.c);
+        w.event(name, 'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.args_begin();
+        w.arg_num("point", r.c, true);
+        w.arg_num("seed", static_cast<long long>(r.arg));
+        w.args_end();
+        w.done();
+        break;
+      case Ev::kStormRound:
+        std::snprintf(name, sizeof(name), "round#%u", r.a);
+        w.event(name, 'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.done();
+        break;
+      case Ev::kCount:
+        break;
+    }
+  }
+  // Close slices still open at session stop so Perfetto draws them bounded.
+  while (!open.empty()) {
+    w.event(open.back().c_str(), 'E', tid, last_ns);
+    w.done();
+    open.pop_back();
+  }
+}
+
+bool export_json(Session& s, const std::string& path, double ns_per_tick,
+                 const Summary& summary) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  JsonWriter w(f);
+  w.event("process_name", 'M', 0, 0);
+  w.args_begin();
+  std::fprintf(f, "\"name\":\"mfc\"");
+  w.args_end();
+  w.done();
+  for (const auto& ring : s.rings) {
+    char pe_name[32];
+    std::snprintf(pe_name, sizeof(pe_name), "\"PE %d\"", ring->pe());
+    w.event("thread_name", 'M', ring->pe(), 0);
+    w.args_begin();
+    std::fprintf(f, "\"name\":%s", pe_name);
+    w.args_end();
+    w.done();
+  }
+  for (const auto& ring : s.rings) {
+    export_ring(w, *ring, s.tsc0, ns_per_tick);
+  }
+  std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+  std::fprintf(f, "\"npes\":\"%d\",\"emitted\":\"%llu\",\"dropped\":\"%llu\"",
+               summary.npes,
+               static_cast<unsigned long long>(summary.emitted),
+               static_cast<unsigned long long>(summary.dropped));
+  {
+    std::lock_guard<std::mutex> lock(s.meta_mu);
+    for (const auto& [key, value] : s.meta) {
+      std::string k, v;
+      json_escape(k, key);
+      json_escape(v, value);
+      std::fprintf(f, ",\"%s\":\"%s\"", k.c_str(), v.c_str());
+    }
+  }
+  std::fprintf(f, "}}\n");
+  bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
+}
+
+/// Ends the recording phase: gate off, calibrate tick rate from the full
+/// session baseline. Caller must be quiescent (no PE loop running).
+double end_recording(Session& s) {
+  detail::g_on = false;
+  const std::uint64_t tsc1 = rdtsc();
+  const auto wall1 = std::chrono::steady_clock::now();
+  const double elapsed_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              wall1 - s.wall0)
+                              .count());
+  const std::uint64_t ticks = tsc1 > s.tsc0 ? tsc1 - s.tsc0 : 1;
+  double ns_per_tick = elapsed_ns / static_cast<double>(ticks);
+  if (!(ns_per_tick > 0.0)) ns_per_tick = 1.0;
+  return ns_per_tick;
+}
+
+}  // namespace
+
+const char* to_string(Ev ev) {
+  switch (ev) {
+    case Ev::kHandlerBegin: return "handler-begin";
+    case Ev::kHandlerEnd: return "handler-end";
+    case Ev::kMsgSend: return "msg-send";
+    case Ev::kUltCreate: return "ult-create";
+    case Ev::kUltSwitchIn: return "ult-switch-in";
+    case Ev::kUltSwitchOut: return "ult-switch-out";
+    case Ev::kUltSuspend: return "ult-suspend";
+    case Ev::kUltResume: return "ult-resume";
+    case Ev::kMigratePackBegin: return "migrate-pack-begin";
+    case Ev::kMigratePackEnd: return "migrate-pack-end";
+    case Ev::kMigrateUnpackBegin: return "migrate-unpack-begin";
+    case Ev::kMigrateUnpackEnd: return "migrate-unpack-end";
+    case Ev::kIsoSlotAcquire: return "iso-slot-acquire";
+    case Ev::kIsoSlotRelease: return "iso-slot-release";
+    case Ev::kElemDepart: return "elem-depart";
+    case Ev::kElemArrive: return "elem-arrive";
+    case Ev::kLbDecision: return "lb-decision";
+    case Ev::kChaosInject: return "chaos-inject";
+    case Ev::kStormRound: return "storm-round";
+    case Ev::kCount: break;
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::atomic<std::uint64_t> g_epoch{0};
+thread_local TlsState t_tls;
+
+}  // namespace detail
+
+bool env_enabled() {
+  const char* env = std::getenv("MFC_TRACE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+std::string env_file() {
+  const char* env = std::getenv("MFC_TRACE_FILE");
+  return (env != nullptr && *env != '\0') ? env : "mfc_trace.json";
+}
+
+bool start(int npes, std::size_t ring_capacity) {
+  MFC_CHECK(npes > 0);
+  if (g_session != nullptr) return false;
+  if (ring_capacity == 0) ring_capacity = env_ring_cap();
+  auto* s = new Session;
+  s->rings.reserve(static_cast<std::size_t>(npes));
+  for (int pe = 0; pe < npes; ++pe) {
+    s->rings.push_back(std::make_unique<Ring>(pe, ring_capacity));
+  }
+  s->tsc0 = rdtsc();
+  s->wall0 = std::chrono::steady_clock::now();
+  g_session = s;
+  detail::g_epoch.fetch_add(1, std::memory_order_relaxed);
+  detail::g_on = true;
+  return true;
+}
+
+bool active() { return g_session != nullptr; }
+
+void bind_pe(int pe) {
+  Session* s = g_session;
+  detail::TlsState& tls = detail::t_tls;
+  if (s == nullptr || pe < 0 ||
+      pe >= static_cast<int>(s->rings.size())) {
+    tls.ring = nullptr;
+    return;
+  }
+  tls.ring = s->rings[static_cast<std::size_t>(pe)].get();
+  tls.epoch = detail::g_epoch.load(std::memory_order_relaxed);
+  tls.tsc_age = 1u << 30;  // first emit on this binding reads the clock
+}
+
+void unbind_pe() { detail::t_tls.ring = nullptr; }
+
+void set_meta(const std::string& key, const std::string& value) {
+  Session* s = g_session;
+  if (s == nullptr) return;
+  std::lock_guard<std::mutex> lock(s->meta_mu);
+  s->meta[key] = value;
+}
+
+std::uint64_t Summary::digest(std::initializer_list<Ev> evs) const {
+  std::uint64_t h = kFnvOffset;
+  for (Ev ev : evs) {
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(ev));
+    h = fnv1a_mix(h, by_type[static_cast<std::uint8_t>(ev)]);
+  }
+  return h;
+}
+
+Summary stop() {
+  Session* s = g_session;
+  if (s == nullptr) return Summary{};
+  end_recording(*s);
+  g_last = summarize(*s);
+  teardown(s);
+  return g_last;
+}
+
+Summary stop_and_export(const std::string& path, bool* ok) {
+  Session* s = g_session;
+  if (s == nullptr) {
+    if (ok != nullptr) *ok = false;
+    return Summary{};
+  }
+  const double ns_per_tick = end_recording(*s);
+  g_last = summarize(*s);
+  const bool wrote = export_json(*s, path, ns_per_tick, g_last);
+  if (ok != nullptr) *ok = wrote;
+  teardown(s);
+  return g_last;
+}
+
+const Summary& last_summary() { return g_last; }
+
+}  // namespace mfc::trace

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "trace/trace.h"
 #include "ult/scheduler.h"
 #include "util/check.h"
 
@@ -23,7 +24,10 @@ const char* to_string(State s) {
 }
 
 Thread::Thread(Fn fn)
-    : fn_(std::move(fn)), id_(g_next_id.fetch_add(1, std::memory_order_relaxed)) {}
+    : fn_(std::move(fn)),
+      id_(g_next_id.fetch_add(1, std::memory_order_relaxed)) {
+  trace::emit(trace::Ev::kUltCreate, id_);
+}
 
 void Thread::init_context(void* stack, std::size_t bytes) {
   ctx_ = arch::make_context(stack, bytes, &Thread::trampoline, this);

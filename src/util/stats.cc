@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <numeric>
 
@@ -68,18 +69,41 @@ double imbalance_ratio(const std::vector<double>& per_pe_load) {
   return mx / mean;
 }
 
-std::string format_ns(double ns) {
-  char buf[64];
-  if (ns < 1e3) {
-    std::snprintf(buf, sizeof buf, "%.1f ns", ns);
-  } else if (ns < 1e6) {
-    std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
-  } else if (ns < 1e9) {
-    std::snprintf(buf, sizeof buf, "%.2f ms", ns / 1e6);
+std::string format_double(double v, int decimals) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v < 0 ? "-inf" : "inf";
+  if (v < 0) return "-" + format_double(-v, decimals);
+  decimals = std::clamp(decimals, 0, 9);
+  std::uint64_t scale = 1;
+  for (int i = 0; i < decimals; ++i) scale *= 10;
+  // Round-half-up in the scaled domain; guard the uint64 conversion.
+  const double scaled = v * static_cast<double>(scale) + 0.5;
+  char buf[512];
+  if (scaled >= 9.2e18) {
+    // Too large for integer scaling — at this magnitude decimals are noise,
+    // and "%.0f" never prints a decimal separator, so it stays locale-proof.
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  const auto units = static_cast<std::uint64_t>(scaled);
+  if (decimals == 0) {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(units));
   } else {
-    std::snprintf(buf, sizeof buf, "%.2f s", ns / 1e9);
+    std::snprintf(buf, sizeof buf, "%llu.%0*llu",
+                  static_cast<unsigned long long>(units / scale), decimals,
+                  static_cast<unsigned long long>(units % scale));
   }
   return buf;
+}
+
+std::string format_ns(double ns) {
+  if (std::isnan(ns)) return "nan";
+  const double mag = std::fabs(ns);
+  if (mag < 1e3) return format_double(ns, 1) + " ns";
+  if (mag < 1e6) return format_double(ns / 1e3, 2) + " us";
+  if (mag < 1e9) return format_double(ns / 1e6, 2) + " ms";
+  return format_double(ns / 1e9, 2) + " s";
 }
 
 }  // namespace mfc

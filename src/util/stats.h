@@ -49,7 +49,18 @@ class Sample {
 /// max/mean of per-processor load (1.0 == perfectly balanced).
 double imbalance_ratio(const std::vector<double>& per_pe_load);
 
-/// Formats a nanosecond quantity with an adaptive unit (ns/us/ms/s).
+/// Formats `v` with a fixed number of decimals and '.' as the decimal
+/// separator regardless of the process locale (printf's %f obeys
+/// LC_NUMERIC, which would render 1.5 as "1,5" under e.g. de_DE and break
+/// every machine-parsed report). Implemented with integer math; handles
+/// negatives, NaN ("nan"), infinities ("inf"/"-inf"), and values too large
+/// for 64-bit integer scaling (falls back to "%.0f", which never emits a
+/// separator). `decimals` is clamped to [0, 9].
+std::string format_double(double v, int decimals);
+
+/// Formats a nanosecond quantity with an adaptive unit (ns/us/ms/s),
+/// locale-independent. Negative values keep their sign and pick the unit
+/// by magnitude.
 std::string format_ns(double ns);
 
 }  // namespace mfc

@@ -71,7 +71,10 @@ TEST(Storm, CleanRunWithoutChaos) {
 
 TEST(Storm, WorkloadDigestReplaysBitIdentically) {
   StormOptions opt = hostile_options(40);
+  opt.trace = true;
+  opt.trace_file = "storm_replay_a.json";
   StormReport a = chaos::run_storm(opt);
+  opt.trace_file = "storm_replay_b.json";
   StormReport b = chaos::run_storm(opt);
   expect_clean(a, opt);
   expect_clean(b, opt);
@@ -80,6 +83,27 @@ TEST(Storm, WorkloadDigestReplaysBitIdentically) {
   // Transport kills are keyed by (seed, shipment, attempt): the respawn
   // pattern is part of the replay contract.
   EXPECT_EQ(a.transport_respawns, b.transport_respawns);
+
+  // The traced event stream obeys the same contract on its deterministic
+  // classes: two same-seed storms produce identical event-count digests.
+  ASSERT_TRUE(a.traced);
+  ASSERT_TRUE(b.traced);
+  EXPECT_NE(a.trace_digest, 0u);
+  EXPECT_EQ(a.trace_digest, b.trace_digest)
+      << "same-seed storms must emit identical deterministic event counts";
+  EXPECT_GT(a.trace_events, 0u);
+  // Every thread migration is exactly one pack, split evenly across the
+  // three techniques (workers cycle w % 3 and hostile_options uses 9).
+  const std::uint64_t per_technique =
+      static_cast<std::uint64_t>(opt.workers / 3) *
+      static_cast<std::uint64_t>(opt.rounds);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(a.packs_by_technique[t], per_technique) << "technique " << t;
+  }
+  EXPECT_EQ(a.packs_by_technique[0] + a.packs_by_technique[1] +
+                a.packs_by_technique[2],
+            a.thread_migrations);
+
   StormOptions other = hostile_options(41);
   StormReport c = chaos::run_storm(other);
   expect_clean(c, other);

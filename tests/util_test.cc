@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,10 +37,123 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(s.percentile(25), 2.5);
 }
 
+TEST(Stats, EmptyAndSingleElementEdgeCases) {
+  // Empty: every accessor must return a defined zero, not UB on xs_[0].
+  mfc::Sample empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+
+  // Single element: every percentile collapses to it (no interpolation
+  // partner exists).
+  mfc::Sample one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(37.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(one.median(), 42.0);
+
+  mfc::RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+  rs.add(-3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0) << "n=1 sample variance is defined 0";
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), -3.0);
+}
+
+TEST(Stats, RunningStatsClearResetsEverything) {
+  mfc::RunningStats rs;
+  for (int i = 0; i < 10; ++i) rs.add(i * 1.5);
+  rs.clear();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 0.0);
+  // A cleared accumulator behaves like a fresh one.
+  rs.add(5.0);
+  rs.add(7.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+}
+
 TEST(Stats, ImbalanceRatio) {
   EXPECT_DOUBLE_EQ(mfc::imbalance_ratio({1, 1, 1, 1}), 1.0);
   EXPECT_DOUBLE_EQ(mfc::imbalance_ratio({4, 0, 0, 0}), 4.0);
   EXPECT_DOUBLE_EQ(mfc::imbalance_ratio({3, 1}), 1.5);
+}
+
+TEST(Format, FormatDoubleBasicAndEdgeInputs) {
+  EXPECT_EQ(mfc::format_double(1.5, 1), "1.5");
+  EXPECT_EQ(mfc::format_double(1.25, 2), "1.25");
+  EXPECT_EQ(mfc::format_double(0.0, 1), "0.0");
+  EXPECT_EQ(mfc::format_double(0.0, 0), "0");
+  EXPECT_EQ(mfc::format_double(2.5, 0), "3");  // round half up
+  EXPECT_EQ(mfc::format_double(0.999, 2), "1.00");
+  EXPECT_EQ(mfc::format_double(-1.5, 1), "-1.5");
+  EXPECT_EQ(mfc::format_double(-0.04, 1), "-0.0");
+  EXPECT_EQ(mfc::format_double(3.14159, -2), "3") << "decimals clamps to 0";
+  EXPECT_EQ(mfc::format_double(std::nan(""), 2), "nan");
+  EXPECT_EQ(mfc::format_double(HUGE_VAL, 2), "inf");
+  EXPECT_EQ(mfc::format_double(-HUGE_VAL, 2), "-inf");
+  // Values too large for 64-bit integer scaling fall back to "%.0f", which
+  // never prints a decimal separator — still locale-proof, still numeric.
+  const std::string huge = mfc::format_double(1e30, 3);
+  EXPECT_FALSE(huge.empty());
+  EXPECT_EQ(huge.find(','), std::string::npos);
+  EXPECT_EQ(huge.find('.'), std::string::npos);
+  EXPECT_DOUBLE_EQ(std::strtod(huge.c_str(), nullptr), 1e30);
+}
+
+TEST(Format, FormatNsUnitsAndSigns) {
+  EXPECT_EQ(mfc::format_ns(0.0), "0.0 ns");
+  EXPECT_EQ(mfc::format_ns(12.34), "12.3 ns");
+  EXPECT_EQ(mfc::format_ns(1500.0), "1.50 us");
+  EXPECT_EQ(mfc::format_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(mfc::format_ns(3.0e9), "3.00 s");
+  // Negative quantities pick the unit by magnitude and keep the sign —
+  // the old %f path would have filed -5e9 under "ns".
+  EXPECT_EQ(mfc::format_ns(-1500.0), "-1.50 us");
+  EXPECT_EQ(mfc::format_ns(-5.0e9), "-5.00 s");
+  EXPECT_EQ(mfc::format_ns(std::nan("")), "nan");
+}
+
+TEST(Format, DecimalPointSurvivesCommaLocales) {
+  // If a comma-decimal locale is installed, formatting must not pick it up
+  // (that was the bug: "1,5 ms" in machine-parsed reports). If none is
+  // available in this image the test still covers the C-locale contract.
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR"};
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = old != nullptr ? old : "C";
+  bool switched = false;
+  for (const char* loc : candidates) {
+    if (std::setlocale(LC_NUMERIC, loc) != nullptr) {
+      switched = true;
+      break;
+    }
+  }
+  if (switched) {
+    // Only meaningful if the locale actually uses ',' — glibc minimal
+    // builds may alias these names to C behavior.
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.1f", 1.5);
+    if (std::strchr(probe, ',') == nullptr) switched = false;
+  }
+  const std::string a = mfc::format_double(1234.5, 1);
+  const std::string ns = mfc::format_ns(1.5e6);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(a, "1234.5") << (switched ? "comma locale leaked into output"
+                                      : "C locale formatting broken");
+  EXPECT_EQ(ns, "1.50 ms");
+  EXPECT_EQ(a.find(','), std::string::npos);
 }
 
 TEST(Rng, DeterministicAndInRange) {
