@@ -13,6 +13,7 @@
 
 #include "arch/context.h"
 #include "bench_common.h"
+#include "chaos/storm.h"
 #include "converse/machine.h"
 #include "iso/heap.h"
 #include "iso/region.h"
@@ -515,6 +516,91 @@ void run_trace_suite() {
 
 }  // namespace conv_bench
 
+// ---- in-memory checkpointing overhead (ft acceptance) ----
+// The same failure-free storm runs checkpoint-off and checkpoint-every-10
+// (two committed epochs over 30 rounds). Each epoch brackets a round with
+// quiescence, packs every worker non-destructively into local + buddy
+// images, and CRC-frames the blobs — all of which is overhead the
+// application never asked for. Workers run a per-round compute spin
+// (StormOptions::work_spin) so a round costs what a real iteration does;
+// without it the storm's near-empty rounds would measure the emulated
+// machine's cross-PE wakeup latency against nothing, which is not the
+// ratio an application sees. The acceptance bar is <= 15% CPU-time cost
+// versus the no-checkpoint run, measured exactly like the tracing suite:
+// paired off/on reps, median of the per-rep CPU ratios (see
+// paired_overhead_pct's host-drift rationale above). A mixed-technique
+// workload plus one row per technique prices stack-copy / isomalloc /
+// memalias checkpointing separately. Rows land in BENCH_ft.json.
+namespace ft_bench {
+
+mfc::bench::MsgBenchRow run_ft_storm(const char* name, int technique,
+                                     int checkpoint_every) {
+  mfc::chaos::StormOptions opt;
+  opt.seed = 99;
+  opt.npes = 4;
+  opt.workers = 9;
+  opt.rounds = 30;
+  opt.single_technique = technique;
+  opt.ft_checkpoint_every = checkpoint_every;
+  opt.work_spin = 400000;  // ~0.5 ms of compute per worker per round
+  mfc::bench::MsgBenchRow row;
+  row.name = name;
+  row.mode = checkpoint_every > 0 ? "ckpt_every_10" : "ckpt_off";
+  row.npes = opt.npes;
+  const double cpu0 = mfc::process_cpu_time();
+  const double t0 = mfc::wall_time();
+  const mfc::chaos::StormReport rep = mfc::chaos::run_storm(opt);
+  row.seconds = mfc::wall_time() - t0;
+  row.cpu_seconds = mfc::process_cpu_time() - cpu0;
+  // "Messages" here are thread migrations — the storm's unit of work.
+  row.messages = rep.thread_migrations;
+  if (!rep.clean()) std::fprintf(stderr, "warning: %s storm not clean\n", name);
+  return row;
+}
+
+void run_ft_suite() {
+  constexpr int kReps = 5;
+  constexpr int kEvery = 10;
+  struct Workload {
+    const char* name;
+    int technique;  // -1 = w % 3 mix
+  };
+  const Workload workloads[] = {{"ft_storm_mix", -1},
+                                {"ft_storm_stackcopy", 0},
+                                {"ft_storm_iso", 1},
+                                {"ft_storm_memalias", 2}};
+
+  std::printf("# checkpoint overhead: paired ckpt off/on storms, median "
+              "cpu-time ratio of %d reps (checkpoint every %d rounds)\n",
+              kReps, kEvery);
+  std::vector<mfc::bench::MsgBenchRow> rows;
+  for (const Workload& w : workloads) {
+    std::vector<mfc::bench::MsgBenchRow> offs, ons;
+    std::vector<std::pair<double, int>> ratios;
+    for (int i = 0; i < kReps; ++i) {
+      offs.push_back(run_ft_storm(w.name, w.technique, 0));
+      ons.push_back(run_ft_storm(w.name, w.technique, kEvery));
+      ratios.emplace_back(ons.back().cpu_seconds / offs.back().cpu_seconds, i);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const int mid = ratios[ratios.size() / 2].second;
+    rows.push_back(offs[static_cast<std::size_t>(mid)]);
+    conv_bench::print_row(rows.back());
+    rows.push_back(ons[static_cast<std::size_t>(mid)]);
+    conv_bench::print_row(rows.back());
+    const double pct = (ratios[ratios.size() / 2].first - 1.0) * 100.0;
+    std::printf("# %-20s checkpoint overhead (cpu): %s%% (bar: <= 15%%)\n",
+                w.name, mfc::format_double(pct, 1).c_str());
+  }
+  if (!mfc::bench::write_msg_bench_json("BENCH_ft.json", "ft_checkpoint",
+                                        rows)) {
+    std::fprintf(stderr, "warning: could not write BENCH_ft.json\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace ft_bench
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -522,6 +608,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   conv_bench::run_converse_suite();
   conv_bench::run_trace_suite();
+  ft_bench::run_ft_suite();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI job: fault-tolerance suite — release, then ThreadSanitizer.
+#
+# Runs only the tests carrying the `ft` CTest label: the checkpoint codec
+# fuzz (every truncation length, every single-byte flip) and the seeded
+# PE-kill storms over src/ft (heartbeat detection, buddy rollback, replay
+# to a digest bit-identical with a failure-free run). The release pass
+# includes the fork-based MFC_CHECK death tests; under tsan those are
+# compiled out and the same kill storms run with full race checking.
+# To replay a failing seed, prefix with MFC_CHAOS_SEED=<n>.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)"
+ctest --preset ft
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+ctest --preset tsan-ft

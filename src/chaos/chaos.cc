@@ -82,6 +82,7 @@ double probability(const Config& c, Point p) {
     case Point::kDelivery: return c.delivery_delay;
     case Point::kPreempt: return c.preempt;
     case Point::kTransportKill: return c.transport_kill;
+    case Point::kPeKill: return c.pe_kill;
   }
   return 0.0;
 }
@@ -99,6 +100,7 @@ const char* to_string(Point p) {
     case Point::kDelivery: return "delivery";
     case Point::kPreempt: return "preempt";
     case Point::kTransportKill: return "transport-kill";
+    case Point::kPeKill: return "pe-kill";
   }
   return "?";
 }

@@ -39,8 +39,9 @@ enum class Point : std::uint8_t {
   kDelivery = 2,      ///< inter-PE message delivery delayed/reordered
   kPreempt = 3,       ///< forced yield at an instrumented preemption point
   kTransportKill = 4, ///< proc transport relay process killed mid-shipment
+  kPeKill = 5,        ///< emulated PE failure (ft layer kill/recover testing)
 };
-constexpr int kPointCount = 5;
+constexpr int kPointCount = 6;
 const char* to_string(Point p);
 
 /// Chaos knobs, installable standalone or via converse::Machine::Config.
@@ -64,6 +65,9 @@ struct Config {
   /// Consecutive kill injections tolerated per shipment before the
   /// transport forces a clean attempt (bounds the respawn loop).
   int max_transport_kills = 4;
+  /// Emulated PE-failure probability; consumed keyed (per kill ordinal) by
+  /// the storm driver's deterministic kill schedule, not as a free stream.
+  double pe_kill = 0.0;
 };
 
 /// Installs the chaos engine process-wide and logs `MFC_CHAOS_SEED=<seed>`.

@@ -7,10 +7,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "chaos/chaos.h"
+#include "trace/metrics.h"
 #include "util/check.h"
 
 namespace mfc::chaos {
@@ -231,11 +234,25 @@ std::vector<char> ProcTransport::roundtrip(const std::vector<char>& bytes,
     }
     std::vector<char> out;
     if (attempt(bytes, die_after, &out)) return out;
-    // The relay died mid-shipment (injected or real): reap the corpse,
-    // respawn a fresh relay, retry the whole image.
+    // The relay died mid-shipment (injected or real): back off with
+    // exponential delay + seeded jitter (thundering-herd hygiene when many
+    // PEs lose relays at once — the jitter draw is keyed on (shipment,
+    // attempt) so replays of the same seed sleep identically), then reap
+    // the corpse, respawn a fresh relay, and retry the whole image.
+    const std::uint64_t backoff_cap =
+        std::min<std::uint64_t>(50ULL << std::min(tries, 6), 2000);
+    const std::uint64_t jkey =
+        key ^ 0x5bf03d8ab24c96e1ULL ^
+        (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(tries + 1));
+    const std::uint64_t jitter =
+        enabled() ? keyed_draw(Point::kTransportKill, jkey, backoff_cap + 1)
+                  : 0;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(backoff_cap + jitter));
     reap();
     spawn();
     ++respawns_;
+    metrics::bump(metrics::Counter::kTransportRespawns);
     if (die_after != kNoDeath) ++kills;
   }
 }

@@ -1,5 +1,6 @@
 #include "chaos/storm.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -12,8 +13,11 @@
 #include "chaos/proc_transport.h"
 #include "charm/array.h"
 #include "converse/machine.h"
+#include "ft/ft.h"
 #include "iso/heap.h"
 #include "iso/region.h"
+#include "lb/strategy.h"
+#include "migrate/checkpoint.h"
 #include "migrate/iso_thread.h"
 #include "migrate/memalias_thread.h"
 #include "migrate/stackcopy_thread.h"
@@ -102,6 +106,24 @@ struct WorkerSlot {
   std::uint64_t digest = kFnvOffset;  ///< published by the worker per round
 };
 
+/// Per-PE application payload of an ft checkpoint blob: which workers were
+/// parked here (in image order), the round they were parked at, and this
+/// PE's chare-array slice. PE0 additionally snapshots the checker's traffic
+/// RNG and the ping balance counters so the resumed rounds redraw the same
+/// stream.
+struct StormPeCkpt {
+  std::vector<std::int32_t> wids;
+  std::int32_t round = 0;
+  std::vector<char> array_blob;
+  std::uint64_t traffic_state = 0;
+  std::uint64_t array_sent = 0;
+  std::uint64_t array_delivered = 0;
+  void pup(pup::Er& p) {
+    p | wids | round | array_blob | traffic_state | array_sent |
+        array_delivered;
+  }
+};
+
 struct StormGlobal {
   StormOptions opt;
   std::vector<std::vector<int>> itinerary;  // [worker][round] → dest PE
@@ -129,6 +151,27 @@ struct StormGlobal {
   enum class Waiting { kNone, kArrivals, kDone } waiting = Waiting::kNone;
   ult::Thread* checker = nullptr;
   std::uint64_t slots_prestorm = 0;
+  /// Background array-traffic stream. Lives here (not on the checker's
+  /// stack) so ft checkpoints can snapshot and roll back its state.
+  SplitMix64 traffic{0};
+
+  // ---- FT round-protocol state (PE0 kernel thread unless noted) ----
+  /// Where the checker stands relative to a failure: kInterrupted between
+  /// detection and rollback completion, kResumePending once on_recovered
+  /// fired and the checker must rewind to ft_resume_round.
+  enum class FtPhase { kNone, kInterrupted, kResumePending };
+  FtPhase ft_phase = FtPhase::kNone;
+  int ft_resume_round = 0;   ///< round the rollback restored (set by restore)
+  int ft_victim_pe = -1;
+  int ft_ckpt_round = -1;    ///< round being checkpointed (capture asserts)
+  ult::Thread* ft_parked_checker = nullptr;
+  /// Kill ordinal fencing: ordinal k fires only when kills_fired == k, so
+  /// the re-broadcast release after a rollback cannot re-kill. Written by
+  /// victim PEs (hence atomic).
+  std::atomic<int> kills_fired{0};
+  /// kill_ordinal[r] = ordinal of the kill scheduled at round r's release,
+  /// or -1 (empty when FT kills are off).
+  std::vector<int> kill_ordinal;
 
   std::atomic<std::uint64_t> array_sent{0};
   std::atomic<std::uint64_t> array_delivered{0};
@@ -156,6 +199,25 @@ std::uint64_t total_used_slots(int npes) {
   return used;
 }
 
+int technique_of(int wid, const StormOptions& opt) {
+  return opt.single_technique >= 0 ? opt.single_technique : wid % 3;
+}
+
+/// Victim of kill ordinal `k`: a keyed draw (never PE0 — the coordinator),
+/// pure in (chaos seed, k), so every PE computes the same victim and a
+/// replay from the printed MFC_CHAOS_SEED kills the same PEs.
+int kill_victim_of(int k, int npes) {
+  return 1 + static_cast<int>(chaos::keyed_draw(
+                 chaos::Point::kPeKill,
+                 0xf7a5c3d1b9e86420ULL ^ static_cast<std::uint64_t>(k),
+                 static_cast<std::uint64_t>(npes - 1)));
+}
+
+bool is_ckpt_round(int r, const StormOptions& opt) {
+  return opt.ft_checkpoint_every > 0 &&
+         (r + 1) % opt.ft_checkpoint_every == 0 && r < opt.rounds - 1;
+}
+
 // ---- Worker -----------------------------------------------------------------
 
 /// Worker body. Runs as a migratable thread, so: no reliance on the Thread
@@ -170,7 +232,7 @@ void worker_body() {
     std::lock_guard<std::mutex> lock(g->mu);
     wid = g->by_thread_id.at(converse::pe_scheduler().running()->id());
   }
-  const bool is_iso = wid % 3 == 1;
+  const bool is_iso = technique_of(wid, opt) == 1;
 
   // Stack canary: a keyed byte pattern rewritten before every hop and
   // verified after — plus the address-stability probe, the paper's central
@@ -207,6 +269,14 @@ void worker_body() {
     ult::suspend();
 
     // Awake again — on the destination PE, readied by the round release.
+    // Simulated application compute first (bench knob; see StormOptions).
+    if (opt.work_spin > 0) {
+      std::uint64_t scratch = static_cast<std::uint64_t>(wid) + 1;
+      for (int i = 0; i < opt.work_spin; ++i) {
+        scratch = fnv1a_mix(scratch, static_cast<std::uint64_t>(i));
+        asm volatile("" : "+r"(scratch));
+      }
+    }
     if (converse::my_pe() != dest) {
       g->misroutes.fetch_add(1, std::memory_order_relaxed);
     }
@@ -234,7 +304,7 @@ void worker_body() {
 
 migrate::MigratableThread* make_worker(int wid, int pe,
                                        const StormOptions& opt) {
-  switch (wid % 3) {
+  switch (technique_of(wid, opt)) {
     case 0:
       return new migrate::StackCopyThread(worker_body, opt.stack_bytes);
     case 1:
@@ -293,11 +363,15 @@ void pe0_maybe_wake() {
   converse::ready_thread(t);
 }
 
-/// PE0 checker: park until `counter` reaches the worker count.
+/// PE0 checker: park until `counter` reaches the worker count — or a
+/// failure interrupts the round protocol (the caller's ft_check handles
+/// that; returning here instead of re-parking is what keeps the checker
+/// reachable for the post-recovery wake-up).
 void pe0_wait(StormGlobal::Waiting kind) {
   StormGlobal* g = g_storm;
   const int target = g->opt.workers;
   for (;;) {
+    if (g->ft_phase != StormGlobal::FtPhase::kNone) return;
     const int current = kind == StormGlobal::Waiting::kArrivals
                             ? g->arrivals
                             : g->done_workers;
@@ -393,6 +467,26 @@ void handle_arrived(converse::Message&&) {
 void handle_release(converse::Message&& m) {
   StormGlobal* g = g_storm;
   const auto round = m.as<std::int32_t>();
+  // Scheduled PE failure: the victim dies *at* the release of a checkpoint
+  // round — after the epoch committed, before its arrivals wake. Not
+  // readying the batch is the point: the parked workers are bit-identical
+  // to their checkpoint images, and the wipe at revival discards them. The
+  // kills_fired fence keeps the post-rollback re-release of this same round
+  // from killing twice.
+  if (!g->kill_ordinal.empty()) {
+    const int k = g->kill_ordinal[static_cast<std::size_t>(round)];
+    if (k >= 0 && converse::my_pe() == kill_victim_of(k, g->opt.npes)) {
+      int expect = k;
+      if (g->kills_fired.compare_exchange_strong(expect, k + 1)) {
+        chaos::keyed_inject(chaos::Point::kPeKill,
+                            static_cast<std::uint64_t>(k));
+        STORM_TRACE("release: round %d kill %d takes pe %d", round, k,
+                    converse::my_pe());
+        ft::kill_pe(converse::my_pe());
+        return;
+      }
+    }
+  }
   // Ready only this round's arrivals: later-round workers may already be
   // parked here while this (delay-stashed) release was in flight.
   std::vector<ult::Thread*> batch;
@@ -458,19 +552,212 @@ void set_storm_meta(const StormOptions& opt) {
   trace::set_meta("technique_mix", buf);
 }
 
+// ---- FT hooks ---------------------------------------------------------------
+
+/// Pack-and-discard every arrival parked on `pe` (their images are dropped
+/// — the checkpoint already holds the authoritative copies). Never touches
+/// workers[]: during a rollback the restore hook is the sole writer of the
+/// thread pointers, so each worker is re-installed exactly once.
+void discard_parked(int pe) {
+  StormGlobal* g = g_storm;
+  std::lock_guard<std::mutex> lock(g->mu);
+  auto& parked = g->arrived[pe];
+  for (auto& a : parked) {
+    auto* t = static_cast<migrate::MigratableThread*>(a.thread);
+    t->pack();  // evacuates slots / frees buffers; the image is dropped
+    delete t;
+  }
+  parked.clear();
+}
+
+/// ft capture hook: serialize this PE's slice of the storm. Each parked
+/// worker is checkpointed by a non-destructive self-migration — pack (which
+/// consumes the live thread), copy the image into the checkpoint, unpack it
+/// right back at the same addresses — so the storm keeps running after the
+/// epoch commits. Arrivals are processed in wid order to make the blob
+/// bytes deterministic regardless of arrival timing.
+std::vector<char> ft_capture(std::uint64_t epoch) {
+  (void)epoch;
+  StormGlobal* g = g_storm;
+  const int pe = converse::my_pe();
+  migrate::Checkpoint ckpt;
+  StormPeCkpt meta;
+  meta.round = g->ft_ckpt_round;
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    auto& parked = g->arrived[pe];
+    std::sort(parked.begin(), parked.end(),
+              [g](const StormGlobal::Arrival& x, const StormGlobal::Arrival& y) {
+                return g->by_thread_id.at(x.thread->id()) <
+                       g->by_thread_id.at(y.thread->id());
+              });
+    for (auto& a : parked) {
+      auto* t = static_cast<migrate::MigratableThread*>(a.thread);
+      const int wid = g->by_thread_id.at(t->id());
+      MFC_CHECK_MSG(a.round == g->ft_ckpt_round,
+                    "storm: checkpoint found a worker parked at the wrong "
+                    "round (quiescence hole?)");
+      migrate::ThreadImage image = t->pack();
+      delete t;
+      ckpt.add_image(image);  // copy; the original re-animates below
+      auto* fresh =
+          migrate::MigratableThread::unpack(std::move(image), pe);
+      fresh->set_delete_on_exit(true);
+      g->workers[static_cast<std::size_t>(wid)].thread = fresh;
+      a.thread = fresh;
+      meta.wids.push_back(wid);
+    }
+  }
+  if (charm::ArrayBase* arr = charm::find_array(kArrayId)) {
+    meta.array_blob = arr->checkpoint_local();
+  }
+  if (pe == 0) {
+    meta.traffic_state = g->traffic.state();
+    meta.array_sent = g->array_sent.load(std::memory_order_relaxed);
+    meta.array_delivered = g->array_delivered.load(std::memory_order_relaxed);
+  }
+  ckpt.set_user_data(pup::to_bytes(meta));
+  return ckpt.encode();
+}
+
+/// ft wipe hook: runs on a revived PE before its death backlog drains —
+/// the emulated memory loss. Everything that was parked here dies with the
+/// PE; the chare-array slice is dropped too.
+void ft_wipe(int pe) {
+  discard_parked(pe);
+  if (charm::ArrayBase* arr = charm::find_array(kArrayId)) arr->wipe_local();
+}
+
+/// ft discard hook (rollback phase A, every PE): throw away the live
+/// post-checkpoint state. Must complete machine-wide before any restore
+/// starts, or a restored image could hit iso slots a live worker still
+/// occupies on another PE.
+void ft_discard() { discard_parked(converse::my_pe()); }
+
+/// ft restore hook (rollback phase B, every PE): rebuild the slice
+/// ft_capture serialized — re-park every worker at the checkpoint round,
+/// rebuild the array slice, and (PE0) rewind the checker's traffic stream
+/// and round-protocol counters.
+void ft_restore(std::uint64_t epoch, const std::vector<char>& blob) {
+  (void)epoch;
+  StormGlobal* g = g_storm;
+  const int pe = converse::my_pe();
+  migrate::Checkpoint ckpt;
+  MFC_CHECK_MSG(
+      migrate::Checkpoint::decode(blob, &ckpt) == migrate::CodecError::kOk,
+      "storm: corrupt in-memory checkpoint blob");
+  StormPeCkpt meta;
+  pup::from_bytes(ckpt.user_data(), meta);
+  std::vector<migrate::MigratableThread*> threads = ckpt.restore_all(pe);
+  MFC_CHECK(threads.size() == meta.wids.size());
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      migrate::MigratableThread* t = threads[i];
+      const int wid = meta.wids[i];
+      t->set_delete_on_exit(true);
+      g->by_thread_id[t->id()] = wid;  // ids survive restore; refresh anyway
+      g->workers[static_cast<std::size_t>(wid)].thread = t;
+      g->arrived[pe].push_back({t, meta.round});
+    }
+  }
+  if (charm::ArrayBase* arr = charm::find_array(kArrayId)) {
+    arr->restore_local(meta.array_blob);
+  }
+  if (pe == 0) {
+    g->traffic.set_state(meta.traffic_state);
+    g->array_sent.store(meta.array_sent, std::memory_order_relaxed);
+    g->array_delivered.store(meta.array_delivered, std::memory_order_relaxed);
+    g->arrivals = 0;  // the re-released round re-docks every worker
+    g->done_workers = 0;
+    g->ft_resume_round = meta.round;
+  }
+}
+
+/// ft detection hook (PE0 detector context): flag the interruption so the
+/// checker parks instead of resuming a torn round when a recovery-era QD
+/// completion or arrival count happens to wake it.
+void ft_on_detect(int victim) {
+  StormGlobal* g = g_storm;
+  g->ft_phase = StormGlobal::FtPhase::kInterrupted;
+  g->ft_victim_pe = victim;
+}
+
+/// ft recovery-complete hook (PE0 recovery thread): run the post-recovery
+/// LB pass, then hand control back to the checker.
+void ft_on_recovered(std::uint64_t epoch) {
+  (void)epoch;
+  StormGlobal* g = g_storm;
+  // Post-recovery rebalance: hand the restored placement (round-r itinerary
+  // stops) to the refinement strategy and record its decision. The storm's
+  // itineraries re-scatter workers next round anyway, so the decision is
+  // traced rather than applied — a real application would feed it straight
+  // to the migration paths. Deterministic: pure function of restored state.
+  const auto n = static_cast<std::size_t>(g->opt.workers);
+  std::vector<double> loads(n, 1.0);
+  lb::Mapping current(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    current[w] = g->itinerary[w][static_cast<std::size_t>(g->ft_resume_round)];
+  }
+  const lb::Mapping next = lb::refine_lb(loads, current, g->opt.npes);
+  trace::emit(trace::Ev::kLbDecision, 0,
+              static_cast<std::uint32_t>(lb::migration_count(current, next)));
+
+  g->ft_phase = StormGlobal::FtPhase::kResumePending;
+  g->ft_victim_pe = -1;
+  if (g->ft_parked_checker != nullptr) {
+    ult::Thread* t = g->ft_parked_checker;
+    g->ft_parked_checker = nullptr;
+    converse::ready_thread(t);
+  } else if (g->checker != nullptr) {
+    // Checker still parked in pe0_wait from before the failure; its loop
+    // exits on the phase flag.
+    ult::Thread* t = g->checker;
+    g->checker = nullptr;
+    g->waiting = StormGlobal::Waiting::kNone;
+    converse::ready_thread(t);
+  }
+  // Else: the checker is already ready (woken by a recovery-era QD pass)
+  // and will observe kResumePending in its next ft_check.
+}
+
+/// Checker-side failure check, called after every blocking call in the
+/// round loop. Returns true when the round counter was rewound to the
+/// restored round and the caller must `continue` (the for-step advances to
+/// the first re-executed round). The restored round's release is re-
+/// broadcast WITHOUT re-emitting its kStormRound marker — it was already
+/// counted when the killed release first went out, and the digest counts
+/// every round exactly once.
+bool ft_check(int* r) {
+  StormGlobal* g = g_storm;
+  if (g->ft_phase == StormGlobal::FtPhase::kNone) return false;
+  if (g->ft_phase == StormGlobal::FtPhase::kInterrupted) {
+    g->ft_parked_checker = converse::pe_scheduler().running();
+    ult::suspend();
+  }
+  MFC_CHECK(g->ft_phase == StormGlobal::FtPhase::kResumePending);
+  g->ft_phase = StormGlobal::FtPhase::kNone;
+  *r = g->ft_resume_round;
+  STORM_TRACE("checker: recovered, re-releasing round %d", *r);
+  converse::broadcast(h_release, pup::to_bytes(std::int32_t{*r}));
+  return true;
+}
+
 // ---- PE0 checker ------------------------------------------------------------
 
 void checker_main(charm::ArrayBase* array) {
   StormGlobal* g = g_storm;
   const StormOptions& opt = g->opt;
-  SplitMix64 traffic(mix2(opt.seed, kTrafficSalt));
+  SplitMix64& traffic = g->traffic;
   std::uint64_t slots_in_flight = 0;  // stable-slot baseline, set at round 0
 
   for (int r = 0; r < opt.rounds; ++r) {
     STORM_TRACE("checker: round %d wait arrivals (have %d)", r, g->arrivals);
     pe0_wait(StormGlobal::Waiting::kArrivals);
+    if (ft_check(&r)) continue;
     STORM_TRACE("checker: round %d arrivals complete, QD1", r);
     converse::wait_quiescence();
+    if (ft_check(&r)) continue;
     STORM_TRACE("checker: round %d QD1 done", r);
 
     // Invariant: isomalloc slot usage is stable across rounds — workers
@@ -506,6 +793,7 @@ void checker_main(charm::ArrayBase* array) {
     }
     STORM_TRACE("checker: round %d QD2", r);
     converse::wait_quiescence();
+    if (ft_check(&r)) continue;
     STORM_TRACE("checker: round %d QD2 done", r);
 
     // Invariant: under quiescence every array message sent was delivered.
@@ -518,6 +806,16 @@ void checker_main(charm::ArrayBase* array) {
       g->counter_failures.fetch_add(1, std::memory_order_relaxed);
     }
 
+    // Synchronized checkpoint: the machine is quiescent (QD2) and every
+    // worker is parked awaiting this round's release — the consistent cut
+    // the buddy protocol snapshots. A kill scheduled for this round fires
+    // later, at the release below, so the epoch always commits first.
+    if (is_ckpt_round(r, opt)) {
+      STORM_TRACE("checker: round %d checkpoint", r);
+      g->ft_ckpt_round = r;
+      ft::checkpoint_now();
+    }
+
     g->arrivals = 0;
     STORM_TRACE("checker: round %d release", r);
     trace::emit(trace::Ev::kStormRound, 0, static_cast<std::uint32_t>(r));
@@ -526,6 +824,10 @@ void checker_main(charm::ArrayBase* array) {
 
   STORM_TRACE("checker: wait done (have %d)", g->done_workers);
   pe0_wait(StormGlobal::Waiting::kDone);
+  // The kill schedule never reaches the last round, so every recovery has
+  // completed before the workers can finish; a failure here is real.
+  MFC_CHECK_MSG(g->ft_phase == StormGlobal::FtPhase::kNone,
+                "storm: failure interrupted the final done-wait");
   STORM_TRACE("checker: done, final QD");
   // Workers have sent their done messages; quiescence additionally implies
   // each has finished exiting (an exiting worker still in a ready queue
@@ -587,21 +889,51 @@ StormReport run_storm(const StormOptions& options) {
   MFC_CHECK_MSG(g_storm == nullptr, "run_storm is not reentrant");
   MFC_CHECK(options.npes >= 1 && options.workers >= 1 &&
             options.rounds >= 1 && options.array_elements >= 1);
+  const bool ft_on = options.ft_checkpoint_every > 0;
+  MFC_CHECK_MSG(!ft_on || options.npes >= 2,
+                "storm: buddy checkpointing needs npes >= 2");
+  MFC_CHECK_MSG(options.ft_kill_every == 0 || ft_on,
+                "storm: ft_kill_every requires ft_checkpoint_every");
   register_storm_handlers();
 
+  // Kills draw their victims from keyed chaos, so the kill schedule forces
+  // the chaos engine on (pe_kill only ever fires through the keyed ordinal
+  // draws in handle_release — it adds no free-running stream).
+  StormOptions opt = options;
+  if (opt.ft_kill_every > 0) {
+    opt.chaos.enabled = true;
+    opt.chaos.pe_kill = 1.0;
+  }
+
   auto g = std::make_unique<StormGlobal>();
-  g->opt = options;
-  g->workers.resize(static_cast<std::size_t>(options.workers));
-  g->mains.assign(static_cast<std::size_t>(options.npes), nullptr);
-  g->itinerary.resize(static_cast<std::size_t>(options.workers));
-  for (int w = 0; w < options.workers; ++w) {
-    SplitMix64 rng(mix2(options.seed ^ kItinSalt,
+  g->opt = opt;
+  g->workers.resize(static_cast<std::size_t>(opt.workers));
+  g->mains.assign(static_cast<std::size_t>(opt.npes), nullptr);
+  g->traffic = SplitMix64(mix2(opt.seed, kTrafficSalt));
+  g->itinerary.resize(static_cast<std::size_t>(opt.workers));
+  for (int w = 0; w < opt.workers; ++w) {
+    SplitMix64 rng(mix2(opt.seed ^ kItinSalt,
                         static_cast<std::uint64_t>(w)));
     auto& route = g->itinerary[static_cast<std::size_t>(w)];
-    route.resize(static_cast<std::size_t>(options.rounds));
-    for (int r = 0; r < options.rounds; ++r) {
+    route.resize(static_cast<std::size_t>(opt.rounds));
+    for (int r = 0; r < opt.rounds; ++r) {
       route[static_cast<std::size_t>(r)] = static_cast<int>(
-          rng.next_below(static_cast<std::uint64_t>(options.npes)));
+          rng.next_below(static_cast<std::uint64_t>(opt.npes)));
+    }
+  }
+  // Kill schedule: every ft_kill_every-th checkpoint round hosts one kill,
+  // fired at that round's release. Victims come from keyed draws at fire
+  // time (after chaos installs, so an MFC_CHAOS_SEED override applies).
+  if (opt.ft_kill_every > 0) {
+    g->kill_ordinal.assign(static_cast<std::size_t>(opt.rounds), -1);
+    int ckpt_ordinal = 0;
+    int kill = 0;
+    for (int r = 0; r < opt.rounds; ++r) {
+      if (!is_ckpt_round(r, opt)) continue;
+      if ((ckpt_ordinal + 1) % opt.ft_kill_every == 0) {
+        g->kill_ordinal[static_cast<std::size_t>(r)] = kill++;
+      }
+      ++ckpt_ordinal;
     }
   }
   // Fork the relay before the PE threads exist (single-threaded fork is
@@ -617,11 +949,26 @@ StormReport run_storm(const StormOptions& options) {
       (options.trace || trace::env_enabled()) && !trace::active();
   if (own_trace) trace::start(options.npes);
 
+  // Install the ft layer around the machine run (its machine hooks must be
+  // in place before boot; PE0's scheduler loop ticks the failure detector).
+  if (ft_on) {
+    ft::Hooks hooks;
+    hooks.capture = ft_capture;
+    hooks.wipe = ft_wipe;
+    hooks.discard = ft_discard;
+    hooks.restore = ft_restore;
+    hooks.on_detect = ft_on_detect;
+    hooks.on_recovered = ft_on_recovered;
+    hooks.ping_interval_us = opt.ft_ping_interval_us;
+    hooks.timeout_us = opt.ft_timeout_us;
+    ft::install(opt.npes, std::move(hooks));
+  }
+
   converse::Machine::Config mc;
-  mc.npes = options.npes;
-  mc.iso_slot_bytes = options.iso_slot_bytes;
-  mc.iso_slots_per_pe = options.iso_slots_per_pe;
-  mc.chaos = options.chaos;
+  mc.npes = opt.npes;
+  mc.iso_slot_bytes = opt.iso_slot_bytes;
+  mc.iso_slots_per_pe = opt.iso_slots_per_pe;
+  mc.chaos = opt.chaos;
   converse::Machine::run(mc, storm_entry);
 
   StormReport rep = g->report;
@@ -657,6 +1004,20 @@ StormReport run_storm(const StormOptions& options) {
          trace::Ev::kMigratePackEnd, trace::Ev::kMigrateUnpackBegin,
          trace::Ev::kMigrateUnpackEnd, trace::Ev::kIsoSlotAcquire,
          trace::Ev::kIsoSlotRelease, trace::Ev::kStormRound});
+    // FT determinism probe: every round and every committed epoch exactly
+    // once, whether or not a failure rolled part of the run back.
+    rep.ft_trace_digest = sum.digest({trace::Ev::kStormRound,
+                                      trace::Ev::kFtCheckpointBegin,
+                                      trace::Ev::kFtCheckpointEnd});
+  }
+  if (ft_on) {
+    rep.ft_epochs = ft::epochs();
+    rep.ft_kills = ft::kills();
+    rep.ft_detections = ft::detections();
+    rep.ft_recoveries = ft::recoveries();
+    rep.ft_checkpoint_bytes =
+        metrics::total(metrics::Counter::kFtCheckpointBytes);
+    ft::uninstall();
   }
   if (g->transport != nullptr) {
     rep.transport_respawns = g->transport->respawns();

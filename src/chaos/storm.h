@@ -55,6 +55,32 @@ struct StormOptions {
   const char* trace_file = nullptr;
   /// Installed via Machine::Config for the duration of the storm.
   Config chaos;
+
+  // ---- Fault tolerance (ft layer) ----
+
+  /// Checkpoint every K rounds (0 = FT off). With FT on the storm installs
+  /// the ft layer, and the round driver calls ft::checkpoint_now() after
+  /// the round-(K·n − 1) invariant sweep.
+  int ft_checkpoint_every = 0;
+  /// Kill a seed-chosen PE at every Nth checkpoint round (0 = no kills;
+  /// requires ft_checkpoint_every > 0). The victim dies *at* the kill
+  /// round's release — after the checkpoint committed — and the heartbeat
+  /// detector (not the test) notices and triggers rollback + resume.
+  int ft_kill_every = 0;
+  /// Detector tuning (microseconds). The defaults are deliberately slack;
+  /// tests that kill PEs pass tighter values to keep detection latency low.
+  std::uint64_t ft_ping_interval_us = 2000;
+  std::uint64_t ft_timeout_us = 250000;
+  /// Restrict all workers to one technique (0=stackcopy, 1=iso, 2=memalias;
+  /// -1 = the default w % 3 mix). The FT bench uses this to price
+  /// checkpointing per technique.
+  int single_technique = -1;
+  /// Per-round application compute: each worker runs this many iterations
+  /// of a deterministic integer-mixing loop after every hop (0 = none, the
+  /// default for tests). The FT bench uses it to give rounds a realistic
+  /// cost so checkpoint overhead is measured against real work, not
+  /// against the storm's near-empty round protocol.
+  int work_spin = 0;
 };
 
 struct StormReport {
@@ -90,6 +116,17 @@ struct StormReport {
   /// Thread packs by technique (stack-copy, isomalloc, memalias), read
   /// from the metrics registry; filled whether or not tracing is on.
   std::uint64_t packs_by_technique[3] = {};
+
+  /// Fault-tolerance protocol counts (zero when FT is off).
+  std::uint64_t ft_epochs = 0;            ///< committed checkpoints
+  std::uint64_t ft_kills = 0;             ///< injected PE failures
+  std::uint64_t ft_detections = 0;        ///< heartbeat-timeout detections
+  std::uint64_t ft_recoveries = 0;        ///< completed rollbacks
+  std::uint64_t ft_checkpoint_bytes = 0;  ///< local-copy bytes, all epochs
+  /// Count digest over {round markers, checkpoint begin/end}: the FT-mode
+  /// determinism probe — equal between a kill run and a same-seed
+  /// failure-free run (rounds replay identically after rollback).
+  std::uint64_t ft_trace_digest = 0;
 
   bool clean() const {
     return canary_failures == 0 && digest_mismatches == 0 && misroutes == 0 &&

@@ -1,5 +1,6 @@
 #include "charm/array.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "trace/metrics.h"
@@ -285,6 +286,85 @@ void ArrayBase::handle_contribute(int reduction_id, double value) {
     MFC_CHECK_MSG(reduction_cb_ != nullptr, "reduction completed without "
                                             "an on_reduction callback");
     reduction_cb_(result);
+  }
+}
+
+namespace {
+
+// Checkpoint wire structs for one PE's array slice (ft layer).
+struct ElemCkpt {
+  std::int32_t index = 0;
+  std::uint32_t hop_epoch = 0;
+  double load = 0.0;
+  std::vector<char> state;
+  void pup(pup::Er& p) { p | index | hop_epoch | load | state; }
+};
+struct HomeCkpt {
+  std::int32_t index = 0;
+  std::int32_t location = -1;
+  std::uint32_t depart_epoch = 0;
+  std::uint32_t settle_epoch = 0;
+  void pup(pup::Er& p) { p | index | location | depart_epoch | settle_epoch; }
+};
+struct SliceCkpt {
+  std::vector<ElemCkpt> elems;
+  std::vector<HomeCkpt> homes;
+  void pup(pup::Er& p) { p | elems | homes; }
+};
+
+std::vector<int> sorted_keys_of(const auto& map) {
+  std::vector<int> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, _] : map) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+std::vector<char> ArrayBase::checkpoint_local() const {
+  SliceCkpt s;
+  for (int index : sorted_keys_of(local_)) {
+    const Element& elem = *local_.at(index);
+    ElemCkpt e;
+    e.index = index;
+    e.hop_epoch = elem.hop_epoch_;
+    e.load = elem.load_;
+    e.state = pup::to_bytes(elem);
+    s.elems.push_back(std::move(e));
+  }
+  for (int index : sorted_keys_of(home_)) {
+    const HomeEntry& entry = home_.at(index);
+    MFC_CHECK_MSG(entry.buffered.empty(),
+                  "array checkpoint requires quiescence (home entry still "
+                  "buffering in-transit traffic)");
+    s.homes.push_back(HomeCkpt{index, entry.location, entry.depart_epoch,
+                               entry.settle_epoch});
+  }
+  return pup::to_bytes(s);
+}
+
+void ArrayBase::wipe_local() {
+  local_.clear();
+  home_.clear();
+}
+
+void ArrayBase::restore_local(const std::vector<char>& bytes) {
+  wipe_local();
+  SliceCkpt s;
+  pup::from_bytes(bytes, s);
+  for (ElemCkpt& e : s.elems) {
+    auto elem = factory_(e.index);
+    pup::MemUnpacker u(e.state.data(), e.state.size());
+    elem->pup(u);
+    elem->index_ = e.index;
+    elem->array_id_ = id_;
+    elem->hop_epoch_ = e.hop_epoch;
+    elem->load_ = e.load;
+    local_[e.index] = std::move(elem);
+  }
+  for (const HomeCkpt& h : s.homes) {
+    home_[h.index] = HomeEntry{h.location, h.depart_epoch, h.settle_epoch, {}};
   }
 }
 

@@ -104,6 +104,24 @@ class ArrayBase {
 
   int home_pe(int index) const;
 
+  // ---- Fault-tolerance slice capture (ft layer) ----
+
+  /// Serializes this PE's slice of the array: every locally-resident
+  /// element's pup state (with its hop epoch and load) plus this PE's
+  /// home-table entries. Must run under quiescence — aborts if a home
+  /// entry still buffers in-transit traffic. Deterministic byte-for-byte:
+  /// elements and entries are emitted in sorted index order.
+  std::vector<char> checkpoint_local() const;
+
+  /// Drops every local element and home entry. A revived PE wipes its
+  /// stale post-death state with this before the rollback restore.
+  void wipe_local();
+
+  /// Rebuilds the slice captured by checkpoint_local() on this PE
+  /// (wipes first). The element rebuild path is handle_arrive's: factory
+  /// husk + pup, restoring index/epoch/load identity.
+  void restore_local(const std::vector<char>& bytes);
+
  private:
   friend struct ArrayHandlers;
 

@@ -1,6 +1,7 @@
 #include "converse/machine.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -115,17 +116,30 @@ struct MachineState {
   /// and the self-send inline bypass is off (inline delivery would let a
   /// self-send overtake a delayed earlier message).
   bool chaos_delay = false;
+  /// FT hooks were installed before boot: loops test per-PE death flags
+  /// and PE 0 runs the detector tick. Off ⇒ zero additional loads.
+  bool ft_on = false;
   std::size_t pool_cap = 4096;
   std::vector<std::unique_ptr<Pe>> pes;
   std::atomic<int> mains_finished{0};
   std::atomic<bool> stop{false};
   std::atomic<bool> qd_round_active{false};
+  // Per-PE FT flags (allocated only when ft_on). `dead`: the PE's loop
+  // stops dispatching and spin-sleeps; messages queue up for the revival
+  // drain. `wipe_pending`: revive_pe was called — run the on_revive hook
+  // on the PE's own thread before touching the backlog.
+  std::unique_ptr<std::atomic<bool>[]> dead;
+  std::unique_ptr<std::atomic<bool>[]> wipe_pending;
   // PE0-only barrier bookkeeping (touched exclusively from PE0's loop).
   std::unordered_map<std::uint64_t, int> barrier_counts;
 };
 
 MachineState* g_machine = nullptr;
 thread_local Pe* t_pe = nullptr;
+
+// FT hooks, installed before Machine::run and captured into ft_on at boot.
+FtMachineHooks g_ft_hooks;
+bool g_ft_hooks_set = false;
 
 struct BarrierMsg {
   std::uint64_t gen = 0;
@@ -156,9 +170,16 @@ std::uint64_t total_qd_delivered() {
   return metrics::total(Counter::kQdDelivered);
 }
 
-std::uint64_t app_sent() { return total_sent() - total_qd_sent(); }
+// "Application" traffic excludes both QD tokens and FT protocol messages
+// (heartbeats, checkpoint shipments, recovery control): each is counted
+// sent/delivered in its own pair so quiescence judges only the workload.
+std::uint64_t app_sent() {
+  return total_sent() - total_qd_sent() -
+         metrics::total(Counter::kFtSent);
+}
 std::uint64_t app_delivered() {
-  return total_delivered() - total_qd_delivered();
+  return total_delivered() - total_qd_delivered() -
+         metrics::total(Counter::kFtDelivered);
 }
 
 /// QD system send: counted separately so tokens don't disturb the counts
@@ -300,8 +321,26 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
     }
   } else {
     const bool delay_on = g_machine->chaos_delay;
+    const bool ft_on = g_machine->ft_on;
     const std::uint64_t max_ticks = delay_on ? chaos::config().max_delay_ticks : 0;
     while (!g_machine->stop.load(std::memory_order_acquire)) {
+      if (ft_on) {
+        // Dead PE: stop dispatching and running threads; messages keep
+        // queueing and drain after revival. Spin-sleep (no park) so the
+        // revival flag is observed without a wake protocol.
+        if (g_machine->dead[pe->id].load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        // Just revived: wipe stale state on this PE's own thread BEFORE
+        // the death-window backlog dispatches into it.
+        if (g_machine->wipe_pending[pe->id].exchange(
+                false, std::memory_order_acq_rel)) {
+          if (g_ft_hooks.on_revive) g_ft_hooks.on_revive(pe->id);
+        }
+        // PE 0 is the failure detector: heartbeats + timeout checks.
+        if (pe->id == 0 && g_ft_hooks.pe0_tick) g_ft_hooks.pe0_tick();
+      }
       bool progress = false;
       if (delay_on) {
         ++pe->tick;
@@ -320,11 +359,27 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
           dispatch(m);
         }
         progress = true;
+        // A handler may have killed this very PE (self-kill at a chaos
+        // injection point): stop mid-batch, leaving the rest queued.
+        if (ft_on &&
+            g_machine->dead[pe->id].load(std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      if (ft_on &&
+          g_machine->dead[pe->id].load(std::memory_order_relaxed)) {
+        continue;  // no run_one/park for the freshly dead
       }
       if (pe->sched.run_one()) progress = true;
       if (!progress) {
         // A non-empty stash forbids parking — only loop ticks age it out.
         if (!pe->delayed.empty()) continue;
+        // With FT on, PE 0 parks with a deadline so detector ticks keep
+        // firing on an otherwise idle machine.
+        if (ft_on && pe->id == 0) {
+          if (Message* m = pe->queue.pop_wait_for(200)) dispatch(m);
+          continue;
+        }
         // Idle: bounded spin then park until a message arrives or shutdown
         // wakes us. On delivery, re-enter the drain loop immediately — the
         // batch behind this message is typically non-empty.
@@ -457,6 +512,15 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   g_machine->mutex_baseline = config.mutex_baseline;
   g_machine->chaos_delay =
       chaos::enabled() && chaos::config().delivery_delay > 0.0;
+  g_machine->ft_on = g_ft_hooks_set;
+  if (g_machine->ft_on) {
+    MFC_CHECK_MSG(!config.mutex_baseline,
+                  "FT hooks require the lock-free messaging path");
+    g_machine->dead =
+        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(config.npes));
+    g_machine->wipe_pending =
+        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(config.npes));
+  }
   g_machine->pool_cap = config.pool_cap;
   for (int i = 0; i < config.npes; ++i) {
     auto pe = std::make_unique<Pe>();
@@ -621,6 +685,45 @@ void wait_quiescence() {
   pe->quiescence_waiters.push_back(pe->sched.running());
   qd_send(0, h_qd_start, {});
   pe->sched.suspend();
+}
+
+void set_ft_machine_hooks(FtMachineHooks hooks) {
+  MFC_CHECK_MSG(g_machine == nullptr,
+                "install FT hooks before Machine::run");
+  g_ft_hooks = std::move(hooks);
+  g_ft_hooks_set = true;
+}
+
+void clear_ft_machine_hooks() {
+  MFC_CHECK_MSG(g_machine == nullptr,
+                "remove FT hooks after Machine::run returns");
+  g_ft_hooks = FtMachineHooks{};
+  g_ft_hooks_set = false;
+}
+
+void kill_pe(int pe) {
+  MFC_CHECK(g_machine != nullptr && g_machine->ft_on);
+  MFC_CHECK_MSG(pe > 0 && pe < g_machine->npes,
+                "PE 0 is the FT coordinator and cannot be killed");
+  g_machine->dead[pe].store(true, std::memory_order_release);
+  // If the victim was parked idle, wake it so its loop observes the flag
+  // (a wake with no data pops nullptr and re-enters the loop top).
+  g_machine->pes[static_cast<std::size_t>(pe)]->queue.wake();
+}
+
+void revive_pe(int pe) {
+  MFC_CHECK(g_machine != nullptr && g_machine->ft_on);
+  MFC_CHECK(pe > 0 && pe < g_machine->npes);
+  // Order matters: the wipe flag must be visible before the loop escapes
+  // its dead spin, so the on_revive hook always precedes the backlog drain.
+  g_machine->wipe_pending[pe].store(true, std::memory_order_release);
+  g_machine->dead[pe].store(false, std::memory_order_release);
+}
+
+bool pe_dead(int pe) {
+  return g_machine != nullptr && g_machine->ft_on && pe >= 0 &&
+         pe < g_machine->npes &&
+         g_machine->dead[pe].load(std::memory_order_acquire);
 }
 
 }  // namespace mfc::converse

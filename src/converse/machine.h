@@ -247,4 +247,37 @@ PoolStats pool_stats();
 /// "whole computation finished" detector for message-driven phases).
 void wait_quiescence();
 
+// ---- Fault-tolerance machine hooks (ft layer) ----
+//
+// The ft layer plugs into the machine at exactly two seams: a periodic tick
+// on PE 0's scheduler loop (heartbeat pings + failure-timeout checks — PE 0
+// is the detector/coordinator and is never killed), and a revival callback
+// that runs on a dead PE's kernel thread after revive_pe(), BEFORE the
+// backlog that queued up during death is drained (so the ft layer can wipe
+// the PE's stale application state first). Hooks must be installed before
+// Machine::run and removed after it returns; the machine captures them once
+// at boot, so the FT-off hot path costs one plain-bool test per loop.
+struct FtMachineHooks {
+  /// Called every iteration of PE 0's scheduler loop (PE 0 context).
+  std::function<void()> pe0_tick;
+  /// Called on PE `pe`'s kernel thread right after revival, before any
+  /// queued message dispatches.
+  std::function<void(int pe)> on_revive;
+};
+void set_ft_machine_hooks(FtMachineHooks hooks);
+void clear_ft_machine_hooks();
+
+/// Marks PE `pe` failed: its loop stops dispatching messages and running
+/// threads (they stay queued/parked — this emulation models the *machine's*
+/// recovery protocol, not OS-level process death; see DESIGN.md "Fault
+/// tolerance"). Requires FT hooks installed and pe != 0. Callable from any
+/// PE thread, including the victim itself.
+void kill_pe(int pe);
+
+/// Clears the dead flag and schedules the on_revive hook; the PE's loop
+/// resumes, wipes via the hook, then drains its backlog.
+void revive_pe(int pe);
+
+bool pe_dead(int pe);
+
 }  // namespace mfc::converse

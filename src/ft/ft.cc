@@ -1,0 +1,408 @@
+#include "ft/ft.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "converse/machine.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+#include "ult/scheduler.h"
+#include "util/check.h"
+
+namespace mfc::ft {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One PE's slot in the double in-memory checkpoint store. Touched only by
+/// the owning PE's kernel thread (capture/store/refill handlers and the
+/// revival wipe all run there), so no lock is needed.
+struct PeStore {
+  std::uint64_t own_epoch = 0;     ///< epoch of `own` (0 = empty)
+  std::vector<char> own;           ///< this PE's blob (local copy)
+  std::int32_t buddy_src = -1;     ///< whose blob `buddy` is
+  std::uint64_t buddy_epoch = 0;
+  std::vector<char> buddy;         ///< the predecessor's blob (buddy copy)
+};
+
+struct FtState {
+  int npes = 0;
+  Hooks hooks;
+  std::vector<PeStore> store;
+
+  // ---- PE0-only protocol state (detector tick, checkpoint driver, and
+  // recovery coordinator all run on PE0's kernel thread) ----
+  std::uint64_t epoch = 0;          ///< last committed checkpoint epoch
+  int ckpt_acks = 0;
+  std::uint64_t ckpt_bytes = 0;     ///< local-copy bytes this epoch
+  ult::Thread* ckpt_waiter = nullptr;
+
+  bool clock_init = false;
+  Clock::time_point last_ping;
+  std::vector<Clock::time_point> last_pong;
+  bool recovering = false;
+  int victim = -1;
+  int rec_acks = 0;
+  ult::Thread* rec_waiter = nullptr;
+
+  std::atomic<std::uint64_t> kills{0};
+  std::atomic<std::uint64_t> detections{0};
+  std::atomic<std::uint64_t> recoveries{0};
+};
+
+FtState* g_state = nullptr;
+
+converse::HandlerId h_ping, h_pong, h_capture, h_store, h_ckpt_ack,
+    h_refill_own, h_refill_buddy, h_take_own, h_take_buddy, h_discard,
+    h_restore, h_rec_ack;
+
+// ---- Wire messages ----------------------------------------------------------
+
+struct BlobMsg {
+  std::int32_t src = -1;
+  std::uint64_t epoch = 0;
+  std::vector<char> blob;
+  void pup(pup::Er& p) { p | src | epoch | blob; }
+};
+
+struct AckMsg {
+  std::uint64_t bytes = 0;
+  void pup(pup::Er& p) { p | bytes; }
+};
+
+/// Every FT protocol send goes through here so the send is counted in the
+/// quiescence-exempt pair (handlers count the matching delivery first
+/// thing); see app_sent()/app_delivered() in machine.cc.
+template <typename T>
+void ft_send(int pe, converse::HandlerId h, const T& value) {
+  metrics::bump(metrics::Counter::kFtSent);
+  converse::send_value(pe, h, value);
+}
+
+void count_delivery() { metrics::bump(metrics::Counter::kFtDelivered); }
+
+// ---- Checkpoint -------------------------------------------------------------
+
+void handle_capture(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  const auto epoch = m.as<std::uint64_t>();
+  const int me = converse::my_pe();
+  std::vector<char> blob = s->hooks.capture(epoch);
+  const std::uint64_t bytes = blob.size();
+  PeStore& st = s->store[static_cast<std::size_t>(me)];
+  st.own_epoch = epoch;
+  st.own = blob;  // keep the copy: the send below moves the original
+  ft_send(buddy_of(me), h_store, BlobMsg{me, epoch, std::move(blob)});
+  ft_send(0, h_ckpt_ack, AckMsg{bytes});
+}
+
+void handle_store(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  auto bm = m.as<BlobMsg>();
+  PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
+  st.buddy_src = bm.src;
+  st.buddy_epoch = bm.epoch;
+  st.buddy = std::move(bm.blob);
+  ft_send(0, h_ckpt_ack, AckMsg{0});
+}
+
+void handle_ckpt_ack(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  s->ckpt_bytes += m.as<AckMsg>().bytes;
+  if (--s->ckpt_acks == 0 && s->ckpt_waiter != nullptr) {
+    ult::Thread* t = s->ckpt_waiter;
+    s->ckpt_waiter = nullptr;
+    converse::ready_thread(t);
+  }
+}
+
+// ---- Detector ---------------------------------------------------------------
+
+void handle_ping(converse::Message&&) {
+  count_delivery();
+  ft_send(0, h_pong, std::int32_t{converse::my_pe()});
+}
+
+void handle_pong(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  const auto pe = m.as<std::int32_t>();
+  if (pe >= 1 && pe < s->npes) {
+    s->last_pong[static_cast<std::size_t>(pe)] = Clock::now();
+  }
+}
+
+void recovery_main();
+
+/// PE0 scheduler-loop tick: heartbeat pings out, pong deadlines checked.
+/// Deliberately ignorant of the machine's dead flags — the acceptance bar
+/// is that recovery is *detector*-triggered, so the only death signal used
+/// here is a missed pong.
+void tick() {
+  FtState* s = g_state;
+  const auto now = Clock::now();
+  if (!s->clock_init) {
+    s->clock_init = true;
+    s->last_ping = now;
+    s->last_pong.assign(static_cast<std::size_t>(s->npes), now);
+    return;
+  }
+  if (s->recovering) return;
+  if (now - s->last_ping >=
+      std::chrono::microseconds(s->hooks.ping_interval_us)) {
+    s->last_ping = now;
+    for (int pe = 1; pe < s->npes; ++pe) {
+      ft_send(pe, h_ping, std::int32_t{pe});
+    }
+  }
+  const auto deadline = std::chrono::microseconds(s->hooks.timeout_us);
+  for (int pe = 1; pe < s->npes; ++pe) {
+    if (now - s->last_pong[static_cast<std::size_t>(pe)] <= deadline) continue;
+    s->recovering = true;
+    s->victim = pe;
+    s->detections.fetch_add(1, std::memory_order_relaxed);
+    metrics::bump(metrics::Counter::kFtDetections);
+    trace::emit(trace::Ev::kFtDetect, 0, 0, 0, static_cast<std::int16_t>(pe));
+    if (s->hooks.on_detect) s->hooks.on_detect(pe);
+    ult::spawn([] { recovery_main(); });
+    break;  // single-failure model: one recovery at a time
+  }
+}
+
+// ---- Recovery ---------------------------------------------------------------
+
+void handle_refill_own(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  const auto victim = m.as<std::int32_t>();
+  // This PE is the victim's buddy: the copy it holds IS the victim's blob.
+  const PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
+  MFC_CHECK_MSG(st.buddy_src == victim && !st.buddy.empty(),
+                "ft: buddy store does not hold the victim's checkpoint");
+  ft_send(victim, h_take_own, BlobMsg{victim, st.buddy_epoch, st.buddy});
+}
+
+void handle_refill_buddy(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  const auto victim = m.as<std::int32_t>();
+  // This PE is the victim's predecessor: re-send its own blob so the victim
+  // again holds the buddy copy it lost.
+  const int me = converse::my_pe();
+  const PeStore& st = s->store[static_cast<std::size_t>(me)];
+  MFC_CHECK_MSG(st.own_epoch != 0, "ft: predecessor has no checkpoint");
+  ft_send(victim, h_take_buddy, BlobMsg{me, st.own_epoch, st.own});
+}
+
+void handle_take_own(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  auto bm = m.as<BlobMsg>();
+  PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
+  st.own_epoch = bm.epoch;
+  st.own = std::move(bm.blob);
+  ft_send(0, h_rec_ack, AckMsg{});
+}
+
+void handle_take_buddy(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  auto bm = m.as<BlobMsg>();
+  PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
+  st.buddy_src = bm.src;
+  st.buddy_epoch = bm.epoch;
+  st.buddy = std::move(bm.blob);
+  ft_send(0, h_rec_ack, AckMsg{});
+}
+
+void handle_discard(converse::Message&&) {
+  count_delivery();
+  FtState* s = g_state;
+  if (s->hooks.discard) s->hooks.discard();
+  ft_send(0, h_rec_ack, AckMsg{});
+}
+
+void handle_restore(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  const auto epoch = m.as<std::uint64_t>();
+  const PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
+  MFC_CHECK_MSG(st.own_epoch == epoch,
+                "ft: restore epoch does not match this PE's checkpoint");
+  s->hooks.restore(epoch, st.own);
+  ft_send(0, h_rec_ack, AckMsg{});
+}
+
+void handle_rec_ack(converse::Message&&) {
+  count_delivery();
+  FtState* s = g_state;
+  if (--s->rec_acks == 0 && s->rec_waiter != nullptr) {
+    ult::Thread* t = s->rec_waiter;
+    s->rec_waiter = nullptr;
+    converse::ready_thread(t);
+  }
+}
+
+/// Waits (in the recovery ULT) for `n` h_rec_ack messages.
+void rec_wait(int n) {
+  FtState* s = g_state;
+  s->rec_acks = n;
+  s->rec_waiter = converse::pe_scheduler().running();
+  ult::suspend();
+}
+
+/// Recovery coordinator: runs as a ULT on PE0, spawned by the detector.
+void recovery_main() {
+  FtState* s = g_state;
+  const int v = s->victim;
+  const int npes = s->npes;
+  trace::emit(trace::Ev::kFtRecoveryBegin, 0, 0, 0,
+              static_cast<std::int16_t>(v));
+  s->recoveries.fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(metrics::Counter::kFtRecoveries);
+
+  // Revive: the machine clears the dead flag; the on_revive hook wipes the
+  // victim's application state and checkpoint store (emulated memory loss)
+  // on its own thread before the death backlog drains.
+  converse::revive_pe(v);
+
+  // Let the backlog (and anything the survivors still had in flight toward
+  // the victim) drain to a consistent wedged state. Thread images shipped
+  // into the dead window unpack and park here; the rollback below discards
+  // them along with everything else.
+  converse::wait_quiescence();
+
+  // Refill the victim's checkpoint store from the two surviving copies.
+  ft_send(buddy_of(v), h_refill_own, std::int32_t{v});
+  ft_send((v - 1 + npes) % npes, h_refill_buddy, std::int32_t{v});
+  rec_wait(2);
+
+  // Rollback phase A: every PE discards its live application state. The
+  // barrier before phase B guarantees no PE restores a checkpoint image
+  // while another PE's live copy still occupies the same isomalloc slots.
+  for (int pe = 0; pe < npes; ++pe) ft_send(pe, h_discard, AckMsg{});
+  rec_wait(npes);
+
+  // Rollback phase B: every PE rebuilds from its local blob.
+  for (int pe = 0; pe < npes; ++pe) ft_send(pe, h_restore, s->epoch);
+  rec_wait(npes);
+
+  if (s->hooks.on_recovered) s->hooks.on_recovered(s->epoch);
+
+  // Re-arm the detector only now: pong deadlines measured across the
+  // rollback would instantly re-accuse a healthy PE.
+  const auto now = Clock::now();
+  s->last_pong.assign(static_cast<std::size_t>(npes), now);
+  s->last_ping = now;
+  s->victim = -1;
+  s->recovering = false;
+  trace::emit(trace::Ev::kFtRecoveryEnd, s->epoch);
+}
+
+// ---- Machine hooks ----------------------------------------------------------
+
+void on_revive(int pe) {
+  FtState* s = g_state;
+  PeStore& st = s->store[static_cast<std::size_t>(pe)];
+  st = PeStore{};  // the failure lost both blobs the PE held
+  if (s->hooks.wipe) s->hooks.wipe(pe);
+}
+
+void register_ft_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    h_ping = converse::register_handler(handle_ping);
+    h_pong = converse::register_handler(handle_pong);
+    h_capture = converse::register_handler(handle_capture);
+    h_store = converse::register_handler(handle_store);
+    h_ckpt_ack = converse::register_handler(handle_ckpt_ack);
+    h_refill_own = converse::register_handler(handle_refill_own);
+    h_refill_buddy = converse::register_handler(handle_refill_buddy);
+    h_take_own = converse::register_handler(handle_take_own);
+    h_take_buddy = converse::register_handler(handle_take_buddy);
+    h_discard = converse::register_handler(handle_discard);
+    h_restore = converse::register_handler(handle_restore);
+    h_rec_ack = converse::register_handler(handle_rec_ack);
+  });
+}
+
+}  // namespace
+
+void install(int npes, Hooks hooks) {
+  MFC_CHECK_MSG(g_state == nullptr, "ft::install called twice");
+  MFC_CHECK_MSG(npes >= 2, "buddy checkpointing needs at least 2 PEs");
+  MFC_CHECK(hooks.capture && hooks.restore);
+  register_ft_handlers();
+  g_state = new FtState;
+  g_state->npes = npes;
+  g_state->hooks = std::move(hooks);
+  g_state->store.resize(static_cast<std::size_t>(npes));
+  converse::FtMachineHooks mh;
+  mh.pe0_tick = [] { tick(); };
+  mh.on_revive = [](int pe) { on_revive(pe); };
+  converse::set_ft_machine_hooks(std::move(mh));
+}
+
+void uninstall() {
+  MFC_CHECK_MSG(g_state != nullptr, "ft::uninstall without install");
+  converse::clear_ft_machine_hooks();
+  delete g_state;
+  g_state = nullptr;
+}
+
+bool active() { return g_state != nullptr; }
+
+std::uint64_t checkpoint_now() {
+  FtState* s = g_state;
+  MFC_CHECK_MSG(s != nullptr, "ft: checkpoint_now without install");
+  MFC_CHECK_MSG(converse::my_pe() == 0 &&
+                    converse::pe_scheduler().in_thread(),
+                "ft: checkpoint_now must run in a ULT on PE 0");
+  MFC_CHECK_MSG(!s->recovering, "ft: checkpoint during recovery");
+  converse::wait_quiescence();
+  trace::emit(trace::Ev::kFtCheckpointBegin, s->epoch + 1);
+  ++s->epoch;
+  s->ckpt_acks = 2 * s->npes;  // one capture ack + one buddy-store ack per PE
+  s->ckpt_bytes = 0;
+  s->ckpt_waiter = converse::pe_scheduler().running();
+  for (int pe = 0; pe < s->npes; ++pe) ft_send(pe, h_capture, s->epoch);
+  ult::suspend();
+  metrics::bump(metrics::Counter::kFtCheckpoints);
+  metrics::bump(metrics::Counter::kFtCheckpointBytes, s->ckpt_bytes);
+  trace::emit(trace::Ev::kFtCheckpointEnd, s->epoch, 0,
+              static_cast<std::uint32_t>(
+                  s->ckpt_bytes > 0xffffffffu ? 0xffffffffu : s->ckpt_bytes));
+  return s->epoch;
+}
+
+void kill_pe(int pe) {
+  FtState* s = g_state;
+  MFC_CHECK_MSG(s != nullptr, "ft: kill_pe without install");
+  s->kills.fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(metrics::Counter::kFtKills);
+  trace::emit(trace::Ev::kFtKill, 0, 0, 0, static_cast<std::int16_t>(pe));
+  converse::kill_pe(pe);
+}
+
+int buddy_of(int pe) {
+  MFC_CHECK(g_state != nullptr);
+  return (pe + 1) % g_state->npes;
+}
+
+std::uint64_t epochs() { return g_state != nullptr ? g_state->epoch : 0; }
+std::uint64_t kills() {
+  return g_state != nullptr ? g_state->kills.load() : 0;
+}
+std::uint64_t detections() {
+  return g_state != nullptr ? g_state->detections.load() : 0;
+}
+std::uint64_t recoveries() {
+  return g_state != nullptr ? g_state->recoveries.load() : 0;
+}
+
+}  // namespace mfc::ft

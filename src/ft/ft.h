@@ -1,0 +1,104 @@
+// Automatic PE-failure recovery (paper §3 checkpoint/restart, extended with
+// the double in-memory checkpointing protocol of Zheng, Shi & Kalé, "FTC-
+// Charm++: An In-Memory Checkpoint-Based Fault Tolerant Runtime", and its
+// ICPPW successor).
+//
+// The protocol in one paragraph: at a synchronized (quiescent) moment every
+// PE packs its migratable threads and chare-array slice into one checkpoint
+// blob — "checkpointing is simply migration to the local memory of a remote
+// processor" — and stores it twice: locally and on its *buddy* PE
+// ((pe+1) % npes). When the failure detector (heartbeat pings from PE 0)
+// declares a PE dead, the recovery coordinator revives it with wiped memory,
+// refills its checkpoint store from the buddy copies that survived, rolls
+// every PE back to the last committed epoch, and resumes. One failure
+// between consecutive checkpoints is survivable by construction: the lost
+// PE's blob lives on its buddy, and the lost buddy-copy it held for its
+// predecessor is re-sent from the predecessor's own local blob.
+//
+// Division of labor:
+//   - machine layer (converse): kill/revive flags, the PE0 tick seam, the
+//     pre-drain revival wipe callback — see FtMachineHooks in machine.h.
+//   - this layer: checkpoint epochs, blob stores, heartbeat detector,
+//     recovery coordinator, trace/metrics instrumentation.
+//   - application (storm driver): the capture/wipe/discard/restore hooks
+//     that know what the PE's state actually *is*.
+//
+// All FT protocol messages are quiescence-exempt: sends and deliveries are
+// counted in a dedicated metrics pair that app_sent()/app_delivered()
+// subtract, so heartbeats and checkpoint traffic never perturb the Mattern
+// token ring the application's own barriers ride on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mfc::ft {
+
+/// Application seams. All callbacks run on the PE whose state they touch
+/// (handler or scheduler context — they must not block).
+struct Hooks {
+  /// Serialize this PE's full application state for `epoch`. Runs under
+  /// quiescence on every PE. The blob must be self-contained: restore()
+  /// receives exactly these bytes.
+  std::function<std::vector<char>(std::uint64_t epoch)> capture;
+
+  /// Runs on a revived PE before its death-backlog drains: drop every piece
+  /// of stale application state (the emulated "memory loss" of the failure).
+  std::function<void(int pe)> wipe;
+
+  /// Rollback phase A, every PE: discard current application state (pack-
+  /// and-discard live threads, clear slices) WITHOUT restoring yet. The
+  /// barrier between discard and restore guarantees no PE installs a
+  /// checkpoint image while another PE's live copy still occupies the same
+  /// isomalloc addresses.
+  std::function<void()> discard;
+
+  /// Rollback phase B, every PE: rebuild application state from the blob
+  /// capture() produced for `epoch`.
+  std::function<void(std::uint64_t epoch, const std::vector<char>& blob)>
+      restore;
+
+  /// PE 0, detector context: a failure was detected (before recovery runs).
+  std::function<void(int victim)> on_detect;
+
+  /// PE 0, recovery-thread context: rollback to `epoch` is complete on
+  /// every PE; the application may resume driving.
+  std::function<void(std::uint64_t epoch)> on_recovered;
+
+  /// Heartbeat period (PE 0 → every other PE) in microseconds.
+  std::uint64_t ping_interval_us = 2000;
+
+  /// Declare a PE dead after this long without a pong. Generous by default:
+  /// a busy-but-alive PE (or a tsan-slowed one) must never be declared dead
+  /// — a false positive rolls back a healthy machine.
+  std::uint64_t timeout_us = 250000;
+};
+
+/// Installs the FT layer. Must be called before Machine::run (plugs the
+/// machine hooks in) and paired with uninstall() after it returns. Requires
+/// npes >= 2 (a buddy scheme needs a buddy).
+void install(int npes, Hooks hooks);
+void uninstall();
+bool active();
+
+/// Synchronized checkpoint: brackets quiescence, captures every PE into
+/// local + buddy stores, returns the committed epoch. Call from a ULT on
+/// PE 0 only (typically the application's driver thread).
+std::uint64_t checkpoint_now();
+
+/// Injected failure: traces/counts the kill, then flips the machine-layer
+/// dead flag. The detector — not the caller — notices and recovers.
+/// Callable from any PE context, including the victim's own handlers.
+void kill_pe(int pe);
+
+/// The buddy that holds `pe`'s checkpoint blob.
+int buddy_of(int pe);
+
+/// Protocol counters (valid during and after a run).
+std::uint64_t epochs();
+std::uint64_t kills();
+std::uint64_t detections();
+std::uint64_t recoveries();
+
+}  // namespace mfc::ft

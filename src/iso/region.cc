@@ -47,6 +47,7 @@ Region::Region(const Config& config) : config_(config) {
   strips_ = std::vector<Strip>(static_cast<std::size_t>(config_.npes));
   for (auto& strip : strips_) {
     strip.used.assign(config_.slots_per_pe, false);
+    strip.resident.assign(config_.slots_per_pe, false);
   }
   MFC_LOG_INFO("isomalloc region: base=%p bytes=%zu (%d PEs x %u slots x %zu B)",
                base_, total_bytes_, config_.npes, config_.slots_per_pe,
@@ -76,11 +77,14 @@ SlotId Region::try_acquire(int pe, std::uint32_t count) {
       }
     }
     if (!all_free) continue;
-    for (std::uint32_t k = 0; k < count; ++k) strip.used[start + k] = true;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      strip.used[start + k] = true;
+      strip.resident[start + k] = true;
+    }
     strip.used_count += count;
     strip.search_hint = (start + count) % n;
     SlotId id{pe, start, count};
-    install(id);
+    map_rw(id);  // residency marked above (install() would re-lock)
     // Only the success path traces: injected strip-exhaustion retries must
     // not perturb the replay-deterministic event counts.
     trace::emit(trace::Ev::kIsoSlotAcquire, 0, start, count,
@@ -125,7 +129,7 @@ void* Region::slot_base(SlotId id) const {
          static_cast<std::size_t>(id.index) * config_.slot_bytes;
 }
 
-void Region::evacuate(SlotId id) {
+void Region::map_none(SlotId id) {
   void* addr = slot_base(id);
   // Re-establish the PROT_NONE reservation over the slot, dropping its
   // physical pages — the remote copy is now the only one, mirroring
@@ -135,11 +139,42 @@ void Region::evacuate(SlotId id) {
   MFC_CHECK_MSG(r == addr, "iso evacuate remap failed");
 }
 
-void Region::install(SlotId id) {
+void Region::map_rw(SlotId id) {
   void* addr = slot_base(id);
   void* r = mmap(addr, slot_span(id), PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0);
   MFC_CHECK_MSG(r == addr, "iso install remap failed");
+}
+
+void Region::evacuate(SlotId id) {
+  MFC_CHECK(id.valid());
+  Strip& strip = strips_[static_cast<std::size_t>(id.pe)];
+  {
+    std::lock_guard<std::mutex> lock(strip.mutex);
+    for (std::uint32_t k = 0; k < id.count; ++k) {
+      MFC_CHECK_MSG(strip.resident[id.index + k],
+                    "evacuating an iso slot with no resident pages "
+                    "(double pack?)");
+      strip.resident[id.index + k] = false;
+    }
+  }
+  map_none(id);
+}
+
+void Region::install(SlotId id) {
+  MFC_CHECK(id.valid());
+  Strip& strip = strips_[static_cast<std::size_t>(id.pe)];
+  {
+    std::lock_guard<std::mutex> lock(strip.mutex);
+    for (std::uint32_t k = 0; k < id.count; ++k) {
+      MFC_CHECK_MSG(!strip.resident[id.index + k],
+                    "iso install over a resident slot — a thread already "
+                    "lives at these addresses (restoring a checkpoint over "
+                    "a live thread?)");
+      strip.resident[id.index + k] = true;
+    }
+  }
+  map_rw(id);
 }
 
 bool Region::contains(const void* p) const {

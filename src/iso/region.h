@@ -69,8 +69,11 @@ class Region {
   std::size_t slot_span(SlotId id) const { return id.count * config_.slot_bytes; }
 
   /// Migration: drop the local pages (after the contents were packed).
+  /// Aborts on a slot that is not locally resident (double evacuate).
   void evacuate(SlotId id);
   /// Migration: re-map the same addresses read/write (before unpacking).
+  /// Aborts on a slot that is ALREADY resident — the guard that catches a
+  /// checkpoint image restored over a live thread occupying the same slots.
   void install(SlotId id);
 
   /// True when `p` points inside the isomalloc reservation — used by the
@@ -92,9 +95,18 @@ class Region {
   struct Strip {
     std::mutex mutex;
     std::vector<bool> used;  ///< per-slot occupancy bitmap
+    /// Per-slot paging state: true while the slot's pages are mapped R/W
+    /// here. Distinct from `used` — a packed thread's slots stay *used*
+    /// (identity reserved machine-wide) but not *resident* (pages dropped).
+    std::vector<bool> resident;
     std::uint32_t used_count = 0;
     std::uint32_t search_hint = 0;  ///< next-fit start for contiguous scans
   };
+
+  /// Raw page-table operations (no residency bookkeeping): mmap the slot
+  /// span R/W or back to PROT_NONE.
+  void map_rw(SlotId id);
+  void map_none(SlotId id);
 
   Config config_;
   void* base_ = nullptr;

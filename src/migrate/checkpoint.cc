@@ -1,11 +1,41 @@
 #include "migrate/checkpoint.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "iso/region.h"
 #include "util/check.h"
+#include "util/crc32.h"
 
 namespace mfc::migrate {
+
+namespace {
+
+// Frame header, stored little-endian via memcpy (this runtime is
+// x86-64-only; the static_assert keeps the layout honest).
+constexpr std::uint32_t kMagic = 0x4D46434Bu;  // "MFCK"
+constexpr std::uint32_t kVersion = 2;          // v1 was the unframed format
+
+struct FrameHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t payload_len;
+  std::uint32_t crc;
+};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+}  // namespace
+
+const char* to_string(CodecError e) {
+  switch (e) {
+    case CodecError::kOk: return "ok";
+    case CodecError::kTruncated: return "truncated";
+    case CodecError::kBadMagic: return "bad-magic";
+    case CodecError::kBadVersion: return "bad-version";
+    case CodecError::kBadCrc: return "bad-crc";
+  }
+  return "?";
+}
 
 Checkpoint::RegionStamp Checkpoint::current_stamp() {
   RegionStamp stamp;
@@ -26,6 +56,14 @@ void Checkpoint::add(MigratableThread* thread) {
     stamped_ = true;
   }
   images_.push_back(thread->pack());
+}
+
+void Checkpoint::add_image(ThreadImage image) {
+  if (!stamped_) {
+    stamp_ = current_stamp();
+    stamped_ = true;
+  }
+  images_.push_back(std::move(image));
 }
 
 std::vector<MigratableThread*> Checkpoint::restore_all(int dest_pe) {
@@ -51,8 +89,46 @@ void Checkpoint::pup(pup::Er& p) {
   p | stamped_ | stamp_ | images_ | user_data_;
 }
 
+std::vector<char> Checkpoint::encode() const {
+  const std::vector<char> payload = pup::to_bytes(*this);
+  std::vector<char> frame(kHeaderBytes + payload.size());
+  const std::uint64_t len = payload.size();
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  char* p = frame.data();
+  std::memcpy(p, &kMagic, 4);
+  std::memcpy(p + 4, &kVersion, 4);
+  std::memcpy(p + 8, &len, 8);
+  std::memcpy(p + 16, &crc, 4);
+  std::memcpy(p + kHeaderBytes, payload.data(), payload.size());
+  return frame;
+}
+
+CodecError Checkpoint::decode(const char* data, std::size_t size,
+                              Checkpoint* out) {
+  MFC_CHECK(out != nullptr);
+  if (size < kHeaderBytes) return CodecError::kTruncated;
+  FrameHeader h;
+  std::memcpy(&h.magic, data, 4);
+  std::memcpy(&h.version, data + 4, 4);
+  std::memcpy(&h.payload_len, data + 8, 8);
+  std::memcpy(&h.crc, data + 16, 4);
+  if (h.magic != kMagic) return CodecError::kBadMagic;
+  if (h.version != kVersion) return CodecError::kBadVersion;
+  if (h.payload_len != size - kHeaderBytes) return CodecError::kTruncated;
+  const char* payload = data + kHeaderBytes;
+  if (crc32(payload, h.payload_len) != h.crc) return CodecError::kBadCrc;
+  std::vector<char> bytes(payload, payload + h.payload_len);
+  pup::from_bytes(bytes, *out);
+  return CodecError::kOk;
+}
+
+CodecError Checkpoint::decode(const std::vector<char>& bytes,
+                              Checkpoint* out) {
+  return decode(bytes.data(), bytes.size(), out);
+}
+
 void Checkpoint::write_file(const std::string& path) const {
-  auto bytes = pup::to_bytes(*this);
+  auto bytes = encode();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   MFC_CHECK_MSG(f != nullptr, "checkpoint: cannot open file for writing");
   const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
@@ -71,7 +147,8 @@ Checkpoint Checkpoint::read_file(const std::string& path) {
   std::fclose(f);
   MFC_CHECK_MSG(got == bytes.size(), "checkpoint: short read");
   Checkpoint ckpt;
-  pup::from_bytes(bytes, ckpt);
+  const CodecError err = decode(bytes, &ckpt);
+  MFC_CHECK_MSG(err == CodecError::kOk, "checkpoint: corrupt image file");
   return ckpt;
 }
 

@@ -24,12 +24,33 @@
 
 namespace mfc::migrate {
 
+/// Typed decode failures for framed checkpoint images. Every corruption
+/// mode a storage or transfer layer can hand us maps to one of these —
+/// decode() never crashes on hostile bytes (the corruption fuzz test walks
+/// every truncation length and single-byte flip).
+enum class CodecError {
+  kOk = 0,
+  kTruncated,   ///< buffer shorter than header or declared payload
+  kBadMagic,    ///< not a checkpoint frame at all
+  kBadVersion,  ///< framed by an incompatible codec revision
+  kBadCrc,      ///< payload bytes fail the stored CRC-32
+};
+const char* to_string(CodecError e);
+
 class Checkpoint {
  public:
   /// Captures a suspended thread into the checkpoint. Like migration, this
   /// consumes the thread's local memory: delete the husk afterwards and
   /// restore() to get it back.
   void add(MigratableThread* thread);
+
+  /// Adds an already-packed image (non-destructive checkpointing: the ft
+  /// layer packs, copies the image into the checkpoint, then unpacks the
+  /// original image back in place — a self-migration that leaves the
+  /// thread running).
+  void add_image(ThreadImage image);
+
+  const std::vector<ThreadImage>& images() const { return images_; }
 
   /// Application metadata stored alongside the threads (iteration number,
   /// RNG state, ...).
@@ -46,7 +67,17 @@ class Checkpoint {
   /// remote processor's memory).
   void pup(pup::Er& p);
 
-  /// File-level round trip ("migration to disk").
+  /// Framed serialization: a versioned header plus a CRC-32 of the PUP
+  /// payload, so a restore from storage or a buddy PE can reject truncated
+  /// or bit-flipped images with a typed error instead of feeding garbage to
+  /// the PUP layer. Frame layout (little-endian):
+  ///   [magic u32][version u32][payload_len u64][crc32 u32][payload bytes]
+  std::vector<char> encode() const;
+  static CodecError decode(const char* data, std::size_t size,
+                           Checkpoint* out);
+  static CodecError decode(const std::vector<char>& bytes, Checkpoint* out);
+
+  /// File-level round trip ("migration to disk"), framed + CRC-verified.
   void write_file(const std::string& path) const;
   static Checkpoint read_file(const std::string& path);
 

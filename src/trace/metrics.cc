@@ -51,6 +51,14 @@ const char* to_string(Counter c) {
     case Counter::kElemMigrations: return "elem-migrations";
     case Counter::kLbMigrations: return "lb-migrations";
     case Counter::kChaosInjections: return "chaos-injections";
+    case Counter::kTransportRespawns: return "transport-respawns";
+    case Counter::kFtSent: return "ft-sent";
+    case Counter::kFtDelivered: return "ft-delivered";
+    case Counter::kFtCheckpoints: return "ft-checkpoints";
+    case Counter::kFtCheckpointBytes: return "ft-checkpoint-bytes";
+    case Counter::kFtKills: return "ft-kills";
+    case Counter::kFtDetections: return "ft-detections";
+    case Counter::kFtRecoveries: return "ft-recoveries";
     case Counter::kCount: break;
   }
   return "?";

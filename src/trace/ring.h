@@ -36,6 +36,12 @@ enum class Ev : std::uint8_t {
   kLbDecision,          ///< LB strategy issued orders (a=migrations)
   kChaosInject,         ///< fault injection fired (c=chaos point)
   kStormRound,          ///< storm driver round marker (a=round)
+  kFtCheckpointBegin,   ///< checkpoint epoch started (arg=epoch)
+  kFtCheckpointEnd,     ///< checkpoint epoch committed (size=bytes/KiB)
+  kFtKill,              ///< PE declared dead (b=victim pe)
+  kFtDetect,            ///< failure detector fired (b=victim pe)
+  kFtRecoveryBegin,     ///< recovery coordinator started (b=victim pe)
+  kFtRecoveryEnd,       ///< rollback complete, machine resumed (arg=epoch)
   kCount,
 };
 constexpr int kEvCount = static_cast<int>(Ev::kCount);

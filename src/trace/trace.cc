@@ -344,6 +344,47 @@ void export_ring(JsonWriter& w, const Ring& ring, std::uint64_t tsc0,
         w.raw("s", "\"t\"");
         w.done();
         break;
+      case Ev::kFtCheckpointBegin:
+        begin("ft-checkpoint", ns);
+        w.args_begin();
+        w.arg_num("epoch", static_cast<long long>(r.arg), true);
+        w.args_end();
+        w.done();
+        break;
+      case Ev::kFtCheckpointEnd:
+        if (end("ft-checkpoint", ns)) {
+          w.args_begin();
+          w.arg_num("bytes", r.size, true);
+          w.args_end();
+          w.done();
+        }
+        break;
+      case Ev::kFtRecoveryBegin:
+        begin("ft-recovery", ns);
+        w.args_begin();
+        if (r.b >= 0) w.arg_num("victim", r.b, true);
+        w.args_end();
+        w.done();
+        break;
+      case Ev::kFtRecoveryEnd:
+        if (end("ft-recovery", ns)) {
+          w.args_begin();
+          w.arg_num("epoch", static_cast<long long>(r.arg), true);
+          w.args_end();
+          w.done();
+        }
+        break;
+      case Ev::kFtKill:
+      case Ev::kFtDetect:
+        w.event(static_cast<Ev>(r.ev) == Ev::kFtKill ? "ft-kill"
+                                                     : "ft-detect",
+                'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.args_begin();
+        if (r.b >= 0) w.arg_num("victim", r.b, true);
+        w.args_end();
+        w.done();
+        break;
       case Ev::kCount:
         break;
     }
@@ -438,6 +479,12 @@ const char* to_string(Ev ev) {
     case Ev::kLbDecision: return "lb-decision";
     case Ev::kChaosInject: return "chaos-inject";
     case Ev::kStormRound: return "storm-round";
+    case Ev::kFtCheckpointBegin: return "ft-checkpoint-begin";
+    case Ev::kFtCheckpointEnd: return "ft-checkpoint-end";
+    case Ev::kFtKill: return "ft-kill";
+    case Ev::kFtDetect: return "ft-detect";
+    case Ev::kFtRecoveryBegin: return "ft-recovery-begin";
+    case Ev::kFtRecoveryEnd: return "ft-recovery-end";
     case Ev::kCount: break;
   }
   return "?";

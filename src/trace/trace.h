@@ -65,6 +65,8 @@ inline bool closes_span(Ev ev) {
     case Ev::kUltSwitchOut:
     case Ev::kMigratePackEnd:
     case Ev::kMigrateUnpackEnd:
+    case Ev::kFtCheckpointEnd:
+    case Ev::kFtRecoveryEnd:
       return true;
     default:
       return false;

@@ -82,10 +82,15 @@ class Thread {
   void* saved_sp() const { return ctx_.sp; }
   void set_saved_sp(void* sp) { ctx_.sp = sp; }
 
-  /// Restores bookkeeping on an unpacked thread.
+  /// Restores bookkeeping on an unpacked thread. Also stamps the thread
+  /// kSuspended: a rebuilt thread resumes mid-stack exactly like one that
+  /// suspended here, and pack() keys its "only pack parked threads" guard
+  /// on that state (an in-memory checkpoint may repack an arrival that has
+  /// not run since it was unpacked).
   void restore_identity(std::uint64_t id, double load) {
     id_ = id;
     accumulated_load_ = load;
+    state_ = State::kSuspended;
   }
 
  private:

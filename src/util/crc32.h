@@ -1,0 +1,42 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte buffers.
+//
+// Used by the checkpoint codec to reject truncated or bit-flipped images
+// before the PUP layer ever sees them: a framed checkpoint stores the CRC of
+// its payload, and restore verifies it. Table-driven, one 1 KiB table built
+// on first use (thread-safe via static local init).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mfc {
+
+namespace detail {
+
+struct Crc32Table {
+  std::uint32_t t[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace detail
+
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const detail::Crc32Table table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mfc

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -92,6 +94,22 @@ class Parker {
     parked_.store(true, std::memory_order_seq_cst);
     if (!nonempty()) {
       cv_.wait(lock, [&] { return signal_ || nonempty(); });
+    }
+    parked_.store(false, std::memory_order_relaxed);
+    signal_ = false;
+  }
+
+  /// park() with a deadline: returns after `micros` even if nothing
+  /// arrived. The failure detector's heartbeat loop on PE 0 uses this so an
+  /// idle machine still ticks pings/timeouts; the same Dekker handshake
+  /// keeps pushes from slipping past the sleep.
+  template <typename NonEmpty>
+  void park_for(std::uint64_t micros, NonEmpty&& nonempty) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    parked_.store(true, std::memory_order_seq_cst);
+    if (!nonempty()) {
+      cv_.wait_for(lock, std::chrono::microseconds(micros),
+                   [&] { return signal_ || nonempty(); });
     }
     parked_.store(false, std::memory_order_relaxed);
     signal_ = false;
@@ -274,6 +292,21 @@ class IntrusiveMpscChannel {
       if (T* item = try_pop()) return item;
     }
     parker_.park([this] {
+      return inbox_.load(std::memory_order_seq_cst) != nullptr;
+    });
+    return try_pop();
+  }
+
+  /// pop_wait() with a parking deadline: returns nullptr once `micros`
+  /// elapse with no data (or on a wake/spurious unpark). Lets an otherwise
+  /// idle consumer loop run periodic work (heartbeats) without busy-waiting.
+  T* pop_wait_for(std::uint64_t micros) {
+    if (T* item = try_pop()) return item;
+    for (int i = detail::spin_iters_before_park(); i > 0; --i) {
+      detail::cpu_relax();
+      if (T* item = try_pop()) return item;
+    }
+    parker_.park_for(micros, [this] {
       return inbox_.load(std::memory_order_seq_cst) != nullptr;
     });
     return try_pop();

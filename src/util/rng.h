@@ -31,6 +31,12 @@ class SplitMix64 {
     return lo + (hi - lo) * next_double();
   }
 
+  /// Raw generator state, for checkpoint/restart: a stream restored with
+  /// set_state(state()) continues with exactly the draws the original would
+  /// have produced (the fault-tolerance rollback relies on this).
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s; }
+
  private:
   std::uint64_t state_;
 };
