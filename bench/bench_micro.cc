@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <mutex>
 #include <vector>
@@ -17,11 +19,16 @@
 #include "converse/machine.h"
 #include "iso/heap.h"
 #include "iso/region.h"
+#include "migrate/checkpoint.h"
+#include "migrate/iso_thread.h"
+#include "migrate/manifest.h"
+#include "migrate/migratable.h"
 #include "pup/pup.h"
 #include "sdag/retswitch.h"
 #include "sdag/sdag.h"
 #include "trace/trace.h"
 #include "ult/scheduler.h"
+#include "util/crc32.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -543,6 +550,11 @@ mfc::bench::MsgBenchRow run_ft_storm(const char* name, int technique,
   opt.single_technique = technique;
   opt.ft_checkpoint_every = checkpoint_every;
   opt.work_spin = 400000;  // ~0.5 ms of compute per worker per round
+  // No kills here — the detector runs only so its ping tax lands in both
+  // arms. With the default 250 ms timeout a PE starved by the rest of the
+  // bench process (1-CPU host) can be declared dead mid-measurement;
+  // recovery noise would pollute the row, so make detection unreachable.
+  opt.ft_timeout_us = 10'000'000;
   mfc::bench::MsgBenchRow row;
   row.name = name;
   row.mode = checkpoint_every > 0 ? "ckpt_every_10" : "ckpt_off";
@@ -601,14 +613,289 @@ void run_ft_suite() {
 
 }  // namespace ft_bench
 
+// ---- zero-copy migration + incremental/async checkpointing (PR 6) ----
+// Three sub-suites, all recorded in BENCH_migrate.json:
+//
+//  1. Thread-image codec byte rate, blob vs iovec. The legacy shipping
+//     path serializes a parked thread in three passes over the payload —
+//     pack() memcpy's each run into the ThreadImage, pup::to_bytes copies
+//     the image onto the wire, and the checkpoint/relay layer CRCs the
+//     result. The manifest path gathers the live runs straight onto the
+//     wire, folding the CRC-32C per run as it copies: one pass. The rows
+//     measure end-to-end "parked thread -> CRC'd wire bytes" throughput
+//     for isomalloc images of 64 KiB / 256 KiB / 1 MiB (acceptance:
+//     iovec >= 2x blob at these sizes).
+//
+//  2. Whole-checkpoint encode: Checkpoint::add_image(copy) + encode()
+//     versus GatherCheckpoint borrowing the same manifests (the ft
+//     capture paths for mode 0 vs modes 1/2).
+//
+//  3. Checkpoint CPU overhead per shipping mode, measured exactly like
+//     the PR-4 ft suite above (paired off/on storms, median per-rep
+//     cpu-time ratio, work_spin rounds): full destructive capture vs
+//     incremental zero-copy vs async streamed. The bar the tentpole aims
+//     at is <= 2% for the incremental/async modes against the 4-6% the
+//     full path measured when it landed.
+namespace migrate_bench {
+
+namespace mig = mfc::migrate;
+
+/// Parks an IsoThread holding `heap_bytes` of touched heap payload on a
+/// scheduler; `park` receives the suspended thread and must leave it
+/// suspended; afterwards the thread is resumed to completion and freed.
+template <typename Fn>
+void with_parked_thread(std::size_t heap_bytes, Fn park) {
+  mfc::ult::Scheduler sched;
+  auto* t = new mig::IsoThread(
+      [&sched, heap_bytes] {
+        char* p = static_cast<char*>(mfc::iso::routed_malloc(heap_bytes));
+        std::memset(p, 0x6B, heap_bytes);
+        sched.suspend();  // ---- benchmarked while parked here ----
+        mfc::iso::routed_free(p);
+      },
+      /*birth_pe=*/0);
+  sched.ready(t);
+  sched.run_until_idle();
+  park(t);
+  sched.ready(t);
+  sched.run_until_idle();
+  delete t;
+}
+
+mfc::bench::MsgBenchRow codec_row(const char* name, const char* mode,
+                                  std::size_t heap_bytes, bool iovec) {
+  mfc::bench::MsgBenchRow row;
+  row.name = name;
+  row.mode = mode;
+  row.npes = 1;
+  with_parked_thread(heap_bytes, [&](mig::MigratableThread* t) {
+    const std::size_t wire = t->pack_manifest().wire_size();
+    // Scale reps to ~128 MiB of payload so a measurement spans thousands
+    // of scheduler quanta on any machine.
+    const int reps =
+        static_cast<int>(std::max<std::size_t>(8, (128u << 20) / wire));
+    // Warm both paths once (first-touch, CRC table build).
+    (void)t->pack_manifest().to_wire(nullptr);
+    const double cpu0 = mfc::process_cpu_time();
+    const double t0 = mfc::wall_time();
+    std::uint32_t sink = 0;
+    for (int i = 0; i < reps; ++i) {
+      if (iovec) {
+        std::uint32_t crc = 0;
+        const std::vector<char> bytes = t->pack_manifest().to_wire(&crc);
+        sink ^= crc ^ static_cast<std::uint32_t>(bytes.size());
+      } else {
+        mig::ThreadImage img = mig::image_from_manifest(t->pack_manifest());
+        const std::vector<char> bytes = mfc::pup::to_bytes(img);
+        sink ^= mfc::crc32(bytes.data(), bytes.size());
+      }
+    }
+    row.seconds = mfc::wall_time() - t0;
+    row.cpu_seconds = mfc::process_cpu_time() - cpu0;
+    // "Messages" are payload bytes, so msgs_per_sec reads as bytes/s.
+    row.messages = static_cast<std::uint64_t>(reps) * wire;
+    if (sink == 0xDEADBEEF) std::printf("# (sink)\n");  // keep the loop live
+  });
+  return row;
+}
+
+mfc::bench::MsgBenchRow ckpt_encode_row(const char* mode, bool gather) {
+  constexpr int kThreads = 8;
+  constexpr std::size_t kHeapBytes = 64 * 1024;
+  mfc::bench::MsgBenchRow row;
+  row.name = "ckpt_encode_8x64KiB";
+  row.mode = mode;
+  row.npes = 1;
+
+  mfc::ult::Scheduler sched;
+  std::vector<mig::MigratableThread*> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.push_back(new mig::IsoThread(
+        [&sched] {
+          char* p = static_cast<char*>(mfc::iso::routed_malloc(kHeapBytes));
+          std::memset(p, 0x3C, kHeapBytes);
+          sched.suspend();
+          mfc::iso::routed_free(p);
+        },
+        /*birth_pe=*/0));
+    sched.ready(threads.back());
+  }
+  sched.run_until_idle();
+
+  std::size_t frame_bytes = 0;
+  constexpr int kReps = 256;
+  const double cpu0 = mfc::process_cpu_time();
+  const double t0 = mfc::wall_time();
+  for (int rep = 0; rep < kReps; ++rep) {
+    if (gather) {
+      std::vector<mig::ImageManifest> manifests;
+      manifests.reserve(kThreads);
+      mig::GatherCheckpoint ckpt;
+      for (auto* t : threads) manifests.push_back(t->pack_manifest());
+      for (const auto& m : manifests) ckpt.add_manifest(m);
+      frame_bytes = ckpt.encode().size();
+    } else {
+      mig::Checkpoint ckpt;
+      for (auto* t : threads) {
+        ckpt.add_image(mig::image_from_manifest(t->pack_manifest()));
+      }
+      frame_bytes = ckpt.encode().size();
+    }
+  }
+  row.seconds = mfc::wall_time() - t0;
+  row.cpu_seconds = mfc::process_cpu_time() - cpu0;
+  row.messages = static_cast<std::uint64_t>(kReps) * frame_bytes;
+
+  for (auto* t : threads) sched.ready(t);
+  sched.run_until_idle();
+  for (auto* t : threads) delete t;
+  return row;
+}
+
+mfc::bench::MsgBenchRow run_mode_storm(const char* name, int ft_mode,
+                                       int checkpoint_every) {
+  mfc::chaos::StormOptions opt;
+  opt.seed = 99;
+  opt.npes = 4;
+  opt.workers = 9;
+  opt.rounds = 30;
+  opt.ft_checkpoint_every = checkpoint_every;
+  opt.ft_mode = ft_mode;
+  opt.work_spin = 400000;  // ~0.5 ms of compute per worker per round
+  // Calm storm: detection must stay unreachable. The ckpt_none arm never
+  // commits an epoch, so a false-positive detection (a PE starved past the
+  // default 250 ms timeout by bench load on this 1-CPU host) would drive
+  // recovery into "predecessor has no checkpoint" and abort the process.
+  // Pings still flow at the same rate, so the resident-FT tax is unchanged.
+  opt.ft_timeout_us = 10'000'000;
+  mfc::bench::MsgBenchRow row;
+  row.name = name;
+  // `checkpoint_every` beyond the round count means FT is resident (the
+  // heartbeat detector runs, its tax identical across modes) but no epoch
+  // ever commits — the baseline that isolates checkpointing itself.
+  row.mode = checkpoint_every <= opt.rounds
+                 ? ("ckpt_every_" + std::to_string(checkpoint_every))
+                 : "ckpt_none_ft_resident";
+  row.npes = opt.npes;
+  const double cpu0 = mfc::process_cpu_time();
+  const double t0 = mfc::wall_time();
+  const mfc::chaos::StormReport rep = mfc::chaos::run_storm(opt);
+  row.seconds = mfc::wall_time() - t0;
+  row.cpu_seconds = mfc::process_cpu_time() - cpu0;
+  row.messages = rep.thread_migrations;
+  if (!rep.clean()) std::fprintf(stderr, "warning: %s storm not clean\n", name);
+  return row;
+}
+
+void run_migrate_suite() {
+  mfc::bench::print_header(
+      "zero-copy migration codec + incremental/async checkpoint overhead",
+      "paper SS3.4 (thread image shipping), SS3 checkpoint = migration");
+
+  std::vector<mfc::bench::MsgBenchRow> rows;
+
+  // Sub-suite 1: codec byte rate. Region geometry sized so a 1 MiB heap
+  // payload fits one slot.
+  {
+    mfc::iso::Region::Config cfg;
+    cfg.npes = 1;
+    cfg.slot_bytes = 2 * 1024 * 1024;
+    cfg.slots_per_pe = 64;
+    mfc::iso::Region::init(cfg);
+    struct Size {
+      const char* name;
+      std::size_t bytes;
+    };
+    const Size sizes[] = {{"iso_codec_64KiB", 64u << 10},
+                          {"iso_codec_256KiB", 256u << 10},
+                          {"iso_codec_1MiB", 1u << 20}};
+    for (const Size& s : sizes) {
+      rows.push_back(codec_row(s.name, "blob", s.bytes, false));
+      conv_bench::print_row(rows.back());
+      rows.push_back(codec_row(s.name, "iovec", s.bytes, true));
+      conv_bench::print_row(rows.back());
+      const double speedup = rows.back().msgs_per_sec() /
+                             rows[rows.size() - 2].msgs_per_sec();
+      std::printf("# %-20s iovec/blob bytes-rate: %sx (bar: >= 2x)\n", s.name,
+                  mfc::format_double(speedup, 2).c_str());
+    }
+    rows.push_back(ckpt_encode_row("legacy_copy", false));
+    conv_bench::print_row(rows.back());
+    rows.push_back(ckpt_encode_row("zero_copy_gather", true));
+    conv_bench::print_row(rows.back());
+    mfc::iso::Region::shutdown();
+  }
+
+  // Sub-suite 3: per-mode checkpoint overhead. Pairing methodology is
+  // PR-4's (paired reps, median per-rep cpu ratio), with two changes that
+  // keep a 2%-class signal measurable on a noisy single-CPU host:
+  //  - the baseline keeps FT *resident* (detector pinging, no epochs), so
+  //    the diff prices checkpointing alone, not detector residency;
+  //  - the measured run checkpoints every 2 rounds (14 epochs over 30
+  //    rounds), amplifying the per-epoch cost 7x over the PR-4 every-10
+  //    geometry; the printed figure scales back to 2 epochs per run
+  //    (= PR-4's every-10) before applying the bar.
+  constexpr int kReps = 5;
+  constexpr int kEvery = 2;
+  constexpr double kEpochsMeasured = 14.0;  // every-2 commits over 30 rounds
+  constexpr double kEpochsPr4 = 2.0;        // every-10 commits over 30 rounds
+  struct Mode {
+    const char* name;
+    int ft_mode;
+    double bar_pct;
+  };
+  const Mode modes[] = {{"ft_storm_full", 0, 15.0},
+                        {"ft_storm_incremental", 1, 2.0},
+                        {"ft_storm_async", 2, 2.0}};
+  for (const Mode& m : modes) {
+    std::vector<mfc::bench::MsgBenchRow> offs, ons;
+    std::vector<std::pair<double, int>> ratios;
+    for (int i = 0; i < kReps; ++i) {
+      offs.push_back(run_mode_storm(m.name, m.ft_mode, 10000));
+      ons.push_back(run_mode_storm(m.name, m.ft_mode, kEvery));
+      ratios.emplace_back(ons.back().cpu_seconds / offs.back().cpu_seconds, i);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const int mid = ratios[ratios.size() / 2].second;
+    rows.push_back(offs[static_cast<std::size_t>(mid)]);
+    conv_bench::print_row(rows.back());
+    rows.push_back(ons[static_cast<std::size_t>(mid)]);
+    conv_bench::print_row(rows.back());
+    const double raw = (ratios[ratios.size() / 2].first - 1.0) * 100.0;
+    const double scaled = raw * kEpochsPr4 / kEpochsMeasured;
+    std::printf(
+        "# %-20s checkpoint overhead (cpu): %s%% at %d epochs -> %s%% at "
+        "the PR-4 every-10 rate (bar: <= %s%%)\n",
+        m.name, mfc::format_double(raw, 1).c_str(),
+        static_cast<int>(kEpochsMeasured),
+        mfc::format_double(scaled, 2).c_str(),
+        mfc::format_double(m.bar_pct, 0).c_str());
+  }
+
+  if (!mfc::bench::write_msg_bench_json("BENCH_migrate.json", "migrate_codec",
+                                        rows)) {
+    std::fprintf(stderr, "warning: could not write BENCH_migrate.json\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace migrate_bench
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  conv_bench::run_converse_suite();
-  conv_bench::run_trace_suite();
-  ft_bench::run_ft_suite();
-  benchmark::RunSpecifiedBenchmarks();
+  // MFC_BENCH_SUITE=converse|trace|ft|migrate runs one suite in isolation
+  // (scripts/ci_migrate.sh uses this); unset runs everything.
+  const char* suite = std::getenv("MFC_BENCH_SUITE");
+  const auto want = [suite](const char* name) {
+    return suite == nullptr || std::strcmp(suite, name) == 0;
+  };
+  if (want("converse")) conv_bench::run_converse_suite();
+  if (want("trace")) conv_bench::run_trace_suite();
+  if (want("ft")) ft_bench::run_ft_suite();
+  if (want("migrate")) migrate_bench::run_migrate_suite();
+  if (suite == nullptr) benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

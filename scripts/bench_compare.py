@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on regressions.
+
+Rows are matched by (name, mode). For each matched row the chosen metric is
+compared; a row regresses when the candidate is worse than the baseline by
+more than the tolerance. "Worse" depends on the metric's direction:
+msgs_per_sec is higher-is-better, the ns/seconds metrics are
+lower-is-better.
+
+Exit status: 0 = no regression, 1 = at least one regression, 2 = usage or
+file error. Typical CI wiring (scripts/ci_migrate.sh):
+
+    bench_compare.py BENCH_migrate.json fresh.json \
+        --metric msgs_per_sec --tolerance 10 --filter iso_codec
+
+Rows present in only one file are reported but never fail the run: suites
+grow new rows across PRs, and a renamed row should not mask a genuine
+regression elsewhere.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = {"msgs_per_sec", "messages"}
+LOWER_IS_BETTER = {"ns_per_msg", "cpu_ns_per_msg", "seconds", "cpu_seconds"}
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("results")
+    if not isinstance(rows, list):
+        print(f"error: {path} has no results array", file=sys.stderr)
+        sys.exit(2)
+    return {(r["name"], r.get("mode", "")): r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files, fail on >tolerance% "
+        "regression in a named metric")
+    ap.add_argument("baseline", help="reference BENCH_*.json")
+    ap.add_argument("candidate", help="fresh BENCH_*.json to judge")
+    ap.add_argument("--metric", default="msgs_per_sec",
+                    choices=sorted(HIGHER_IS_BETTER | LOWER_IS_BETTER),
+                    help="row field to compare (default: msgs_per_sec)")
+    ap.add_argument("--tolerance", type=float, default=10.0,
+                    help="allowed regression, percent (default: 10)")
+    ap.add_argument("--filter", default="",
+                    help="only compare rows whose name contains this")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+    higher_better = args.metric in HIGHER_IS_BETTER
+
+    regressions = []
+    compared = 0
+    for key in sorted(base.keys() & cand.keys()):
+        name, mode = key
+        if args.filter and args.filter not in name:
+            continue
+        b = base[key].get(args.metric)
+        c = cand[key].get(args.metric)
+        if b is None or c is None or b <= 0:
+            continue
+        compared += 1
+        change = (c - b) / b * 100.0
+        regress = -change if higher_better else change
+        marker = ""
+        if regress > args.tolerance:
+            marker = "  <-- REGRESSION"
+            regressions.append(key)
+        print(f"{name:28s} {mode:24s} {args.metric}: "
+              f"{b:.6g} -> {c:.6g} ({change:+.1f}%){marker}")
+
+    for key in sorted(base.keys() - cand.keys()):
+        print(f"{key[0]:28s} {key[1]:24s} only in baseline (skipped)")
+    for key in sorted(cand.keys() - base.keys()):
+        print(f"{key[0]:28s} {key[1]:24s} new row (skipped)")
+
+    if compared == 0:
+        print("error: no comparable rows "
+              f"(metric={args.metric}, filter={args.filter!r})",
+              file=sys.stderr)
+        sys.exit(2)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} row(s) regressed more than "
+              f"{args.tolerance:.0f}% on {args.metric}")
+        sys.exit(1)
+    print(f"\nok: {compared} row(s) within {args.tolerance:.0f}% "
+          f"on {args.metric}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,3 +18,12 @@ ctest --preset ft
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)"
 ctest --preset tsan-ft
+
+# The incremental and async kill storms once more, standalone and verbose:
+# a data race in the delta build/apply path or the async chunk reassembly
+# would surface here with full output even if the label run's scheduling
+# happened to hide it. (Under tsan the mprotect write barrier stays
+# disarmed — deltas come from the content memcmp, which is the
+# correctness-bearing path in release too.)
+(cd build-tsan && ./tests/ft_storm_test \
+  --gtest_filter='FtStorm.Incremental*:FtStorm.Async*:FtStorm.Stationary*')

@@ -1,0 +1,37 @@
+#!/bin/sh
+# CI job: zero-copy migration fast path — correctness gate, byte-rate
+# bench, regression diff.
+#
+# Phase 1 runs the tests carrying the `migrate-perf` CTest label: the
+# manifest/blob byte-for-byte wire equivalence suite (all three techniques,
+# NaN/inf payloads, zero-heap-run images), the CRC-32C implementation
+# agreement corpus (reference vs slice-by-8 vs hardware over every
+# truncation and single-byte flip), and the dirty-page tracker units.
+#
+# Phase 2 reruns the migrate bench suite (codec bytes/s blob vs iovec,
+# checkpoint encode, per-mode checkpoint overhead storms) and diffs the
+# fresh rows against the checked-in BENCH_migrate.json with
+# bench_compare.py: >10% drop in codec byte rate fails the job. Only the
+# deterministic codec rows gate — the storm rows are wall-clock noise on a
+# shared host and are reported, not enforced.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)"
+ctest --preset migrate
+
+cp BENCH_migrate.json build-release/BENCH_migrate.baseline.json
+(cd build-release && MFC_BENCH_SUITE=migrate ./bench/bench_micro)
+python3 scripts/bench_compare.py \
+  build-release/BENCH_migrate.baseline.json \
+  build-release/BENCH_migrate.json \
+  --metric msgs_per_sec --tolerance 10 --filter iso_codec
+
+# ThreadSanitizer pass over the same label: the codec suite races-free
+# (the write-barrier fault tests are compiled out; see tests/CMakeLists).
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+ctest --preset tsan-migrate
+
+echo "migrate CI: PASS"

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_map>
 
 #include "util/check.h"
 
@@ -84,5 +86,30 @@ void swap_context(Context* from, Context* to) {
 #endif
   mfc_swap_context(&from->sp, &to->sp);
 }
+
+#if defined(MFC_TSAN_FIBERS)
+namespace {
+// Fiber handles parked by dying Thread objects, keyed by thread id (ids are
+// process-unique and preserved across pack/unpack). Guarded by a mutex:
+// PEs are kernel threads and pack/unpack runs on all of them.
+std::mutex g_fiber_registry_mu;
+std::unordered_map<std::uint64_t, void*> g_fiber_registry;
+}  // namespace
+
+void stash_context_fiber(const Context& ctx, std::uint64_t key) {
+  if (ctx.tsan_fiber == nullptr) return;
+  std::lock_guard<std::mutex> lk(g_fiber_registry_mu);
+  g_fiber_registry[key] = ctx.tsan_fiber;
+}
+
+void adopt_context_fiber(Context& ctx, std::uint64_t key) {
+  std::lock_guard<std::mutex> lk(g_fiber_registry_mu);
+  auto it = g_fiber_registry.find(key);
+  if (it != g_fiber_registry.end()) ctx.tsan_fiber = it->second;
+}
+#else
+void stash_context_fiber(const Context&, std::uint64_t) {}
+void adopt_context_fiber(Context&, std::uint64_t) {}
+#endif
 
 }  // namespace mfc::arch

@@ -33,6 +33,17 @@ Context make_context(void* stack, std::size_t size, EntryFn fn, void* arg);
 /// `to`. Returns when some other flow switches back into `from`.
 void swap_context(Context* from, Context* to);
 
+/// ThreadSanitizer bookkeeping for migratable threads (no-ops outside
+/// -fsanitize=thread builds). A packed thread's stack is physically
+/// mid-execution; if its rebuilt Context were given a brand-new tsan fiber,
+/// the fiber's empty shadow stack would not match the restored frames and
+/// tsan loses the happens-before history through the next unwind. Instead
+/// the fiber handle is parked here under the thread's (migration-stable)
+/// id when the Thread object dies, and re-adopted by the rebuilt thread.
+/// In-process only — which is where every unpack in this runtime happens.
+void stash_context_fiber(const Context& ctx, std::uint64_t key);
+void adopt_context_fiber(Context& ctx, std::uint64_t key);
+
 /// Bytes of bootstrap frame consumed at the top of a fresh stack.
 /// Stacks must be at least this large (plus room for real frames).
 constexpr std::size_t kBootstrapBytes = 128;

@@ -14,6 +14,7 @@
 #include "charm/array.h"
 #include "converse/machine.h"
 #include "ft/ft.h"
+#include "ft/pagetrack.h"
 #include "iso/heap.h"
 #include "iso/region.h"
 #include "lb/strategy.h"
@@ -28,6 +29,18 @@
 #include "util/check.h"
 #include "util/digest.h"
 #include "util/rng.h"
+
+// The mprotect write barrier takes SIGSEGV on purpose; tsan's signal
+// interception makes that combination fragile, so the telemetry arming is
+// release-only (the incremental/async protocol itself — content deltas
+// against the committed base — runs under tsan unchanged).
+#if defined(__SANITIZE_THREAD__)
+#define MFC_STORM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MFC_STORM_TSAN 1
+#endif
+#endif
 
 namespace mfc::chaos {
 namespace {
@@ -172,6 +185,14 @@ struct StormGlobal {
   /// kill_ordinal[r] = ordinal of the kill scheduled at round r's release,
   /// or -1 (empty when FT kills are off).
   std::vector<int> kill_ordinal;
+  /// Highest round whose kStormRound marker was emitted. Async rollbacks
+  /// can rewind more than one round (an aborted epoch rolls back to the
+  /// previous one), so replayed loop iterations must not re-mark.
+  int ft_max_marked_round = -1;
+  /// Per-PE dirty-page write barriers (modes 1/2, release builds): armed
+  /// over parked isomalloc stacks after each capture, harvested at the
+  /// next. Each tracker is touched only by its PE's kernel thread.
+  std::vector<std::unique_ptr<ft::DirtyTracker>> trackers;
 
   std::atomic<std::uint64_t> array_sent{0};
   std::atomic<std::uint64_t> array_delivered{0};
@@ -382,6 +403,36 @@ void pe0_wait(StormGlobal::Waiting kind) {
   }
 }
 
+/// This PE's write barrier, or nullptr when dirty tracking is off.
+ft::DirtyTracker* pe_tracker(int pe) {
+  StormGlobal* g = g_storm;
+  return g->trackers.empty() ? nullptr
+                             : g->trackers[static_cast<std::size_t>(pe)].get();
+}
+
+/// Deregisters `t`'s stack slot from this PE's write barrier, if tracked.
+/// Must run before any pack/evacuate: iso::Region::evacuate remaps the
+/// slot with MAP_FIXED, which silently clears page protection and would
+/// leave a stale registry entry behind for the fault handler to trip over.
+void untrack_worker(int pe, migrate::MigratableThread* t) {
+  ft::DirtyTracker* tracker = pe_tracker(pe);
+  if (tracker == nullptr ||
+      t->technique() != migrate::Technique::kIsomalloc) {
+    return;
+  }
+  const iso::SlotId slot = static_cast<migrate::IsoThread*>(t)->stack_slot();
+  void* base = iso::Region::instance().slot_base(slot);
+  if (!tracker->tracking(base)) return;
+  // Harvest before the bits are dropped: this worker ran a round on the
+  // protected stack, so its fault count is this epoch's telemetry.
+  if (tracker->armed()) {
+    metrics::bump(metrics::Counter::kFtDirtyPages,
+                  tracker->dirty_pages_in(base,
+                                          iso::Region::instance().slot_span(slot)));
+  }
+  tracker->untrack(base);
+}
+
 void handle_dock(converse::Message&& m) {
   StormGlobal* g = g_storm;
   const auto d = m.as<DockMsg>();
@@ -396,6 +447,7 @@ void handle_dock(converse::Message&& m) {
   MFC_CHECK_MSG(t != nullptr && t->state() == ult::State::kSuspended,
                 "storm: dock for a worker that is not suspended here");
 
+  untrack_worker(converse::my_pe(), t);
   migrate::ThreadImage image = t->pack();
   delete t;  // pack() consumed it; only the image represents the worker now
 
@@ -560,6 +612,10 @@ void set_storm_meta(const StormOptions& opt) {
 /// thread pointers, so each worker is re-installed exactly once.
 void discard_parked(int pe) {
   StormGlobal* g = g_storm;
+  if (ft::DirtyTracker* tracker = pe_tracker(pe)) {
+    tracker->disarm();
+    tracker->untrack_all();  // everything parked here is about to evacuate
+  }
   std::lock_guard<std::mutex> lock(g->mu);
   auto& parked = g->arrived[pe];
   for (auto& a : parked) {
@@ -570,54 +626,122 @@ void discard_parked(int pe) {
   parked.clear();
 }
 
-/// ft capture hook: serialize this PE's slice of the storm. Each parked
-/// worker is checkpointed by a non-destructive self-migration — pack (which
-/// consumes the live thread), copy the image into the checkpoint, unpack it
-/// right back at the same addresses — so the storm keeps running after the
-/// epoch commits. Arrivals are processed in wid order to make the blob
-/// bytes deterministic regardless of arrival timing.
+/// Shared tail of both capture paths: the chare-array slice and (PE0) the
+/// checker's traffic/counter snapshot.
+void capture_meta(int pe, StormPeCkpt* meta) {
+  StormGlobal* g = g_storm;
+  if (charm::ArrayBase* arr = charm::find_array(kArrayId)) {
+    meta->array_blob = arr->checkpoint_local();
+  }
+  if (pe == 0) {
+    meta->traffic_state = g->traffic.state();
+    meta->array_sent = g->array_sent.load(std::memory_order_relaxed);
+    meta->array_delivered = g->array_delivered.load(std::memory_order_relaxed);
+  }
+}
+
+/// ft capture hook: serialize this PE's slice of the storm. Arrivals are
+/// processed in wid order to make the blob bytes deterministic regardless
+/// of arrival timing.
+///
+/// Mode 0 (legacy, full): each parked worker is checkpointed by a
+/// destructive self-migration — pack (which consumes the live thread), copy
+/// the image into the checkpoint, unpack it right back at the same
+/// addresses — so the storm keeps running after the epoch commits.
+///
+/// Modes 1/2 (incremental/async): zero-copy capture. pack_manifest() hands
+/// back an iovec view of each suspended worker's slots, and a
+/// GatherCheckpoint encodes the frame in one pass straight from those
+/// addresses — no intermediate images, no slot evacuate/remap churn, and
+/// the workers never notice. The manifests only stay valid while the
+/// workers stay parked, which the quiescent capture window guarantees.
 std::vector<char> ft_capture(std::uint64_t epoch) {
   (void)epoch;
   StormGlobal* g = g_storm;
   const int pe = converse::my_pe();
-  migrate::Checkpoint ckpt;
   StormPeCkpt meta;
   meta.round = g->ft_ckpt_round;
-  {
+
+  // Harvest and release the previous epoch's write-barrier window first:
+  // the gather below reads protected pages (fine), but the bookkeeping
+  // belongs to the epoch that just ended.
+  if (ft::DirtyTracker* tracker = pe_tracker(pe)) {
+    if (tracker->armed()) {
+      metrics::bump(metrics::Counter::kFtDirtyPages, tracker->dirty_total());
+      tracker->disarm();
+    }
+    tracker->untrack_all();
+  }
+
+  std::vector<char> blob;
+  if (g->opt.ft_mode == 0) {
+    migrate::Checkpoint ckpt;
+    {
+      std::lock_guard<std::mutex> lock(g->mu);
+      auto& parked = g->arrived[pe];
+      std::sort(parked.begin(), parked.end(),
+                [g](const StormGlobal::Arrival& x,
+                    const StormGlobal::Arrival& y) {
+                  return g->by_thread_id.at(x.thread->id()) <
+                         g->by_thread_id.at(y.thread->id());
+                });
+      for (auto& a : parked) {
+        auto* t = static_cast<migrate::MigratableThread*>(a.thread);
+        const int wid = g->by_thread_id.at(t->id());
+        MFC_CHECK_MSG(a.round == g->ft_ckpt_round,
+                      "storm: checkpoint found a worker parked at the wrong "
+                      "round (quiescence hole?)");
+        migrate::ThreadImage image = t->pack();
+        delete t;
+        ckpt.add_image(image);  // copy; the original re-animates below
+        auto* fresh =
+            migrate::MigratableThread::unpack(std::move(image), pe);
+        fresh->set_delete_on_exit(true);
+        g->workers[static_cast<std::size_t>(wid)].thread = fresh;
+        a.thread = fresh;
+        meta.wids.push_back(wid);
+      }
+    }
+    capture_meta(pe, &meta);
+    ckpt.set_user_data(pup::to_bytes(meta));
+    blob = ckpt.encode();
+  } else {
+    migrate::GatherCheckpoint ckpt;
+    std::vector<migrate::ImageManifest> manifests;
     std::lock_guard<std::mutex> lock(g->mu);
     auto& parked = g->arrived[pe];
     std::sort(parked.begin(), parked.end(),
-              [g](const StormGlobal::Arrival& x, const StormGlobal::Arrival& y) {
+              [g](const StormGlobal::Arrival& x,
+                  const StormGlobal::Arrival& y) {
                 return g->by_thread_id.at(x.thread->id()) <
                        g->by_thread_id.at(y.thread->id());
               });
+    manifests.reserve(parked.size());
     for (auto& a : parked) {
       auto* t = static_cast<migrate::MigratableThread*>(a.thread);
-      const int wid = g->by_thread_id.at(t->id());
       MFC_CHECK_MSG(a.round == g->ft_ckpt_round,
                     "storm: checkpoint found a worker parked at the wrong "
                     "round (quiescence hole?)");
-      migrate::ThreadImage image = t->pack();
-      delete t;
-      ckpt.add_image(image);  // copy; the original re-animates below
-      auto* fresh =
-          migrate::MigratableThread::unpack(std::move(image), pe);
-      fresh->set_delete_on_exit(true);
-      g->workers[static_cast<std::size_t>(wid)].thread = fresh;
-      a.thread = fresh;
-      meta.wids.push_back(wid);
+      manifests.push_back(t->pack_manifest(false));
+      meta.wids.push_back(g->by_thread_id.at(t->id()));
+    }
+    for (const migrate::ImageManifest& m : manifests) ckpt.add_manifest(m);
+    capture_meta(pe, &meta);
+    ckpt.set_user_data(pup::to_bytes(meta));
+    blob = ckpt.encode();
+    // Open the next write-barrier window over the parked isomalloc stacks.
+    if (ft::DirtyTracker* tracker = pe_tracker(pe)) {
+      for (auto& a : parked) {
+        auto* t = static_cast<migrate::MigratableThread*>(a.thread);
+        if (t->technique() != migrate::Technique::kIsomalloc) continue;
+        auto* it = static_cast<migrate::IsoThread*>(t);
+        void* base = iso::Region::instance().slot_base(it->stack_slot());
+        tracker->track(base, iso::Region::instance().slot_span(it->stack_slot()));
+      }
+      tracker->arm();
     }
   }
-  if (charm::ArrayBase* arr = charm::find_array(kArrayId)) {
-    meta.array_blob = arr->checkpoint_local();
-  }
-  if (pe == 0) {
-    meta.traffic_state = g->traffic.state();
-    meta.array_sent = g->array_sent.load(std::memory_order_relaxed);
-    meta.array_delivered = g->array_delivered.load(std::memory_order_relaxed);
-  }
-  ckpt.set_user_data(pup::to_bytes(meta));
-  return ckpt.encode();
+  return blob;
 }
 
 /// ft wipe hook: runs on a revived PE before its death backlog drains —
@@ -813,12 +937,18 @@ void checker_main(charm::ArrayBase* array) {
     if (is_ckpt_round(r, opt)) {
       STORM_TRACE("checker: round %d checkpoint", r);
       g->ft_ckpt_round = r;
-      ft::checkpoint_now();
+      ft::checkpoint_now(static_cast<ft::CkptMode>(opt.ft_mode));
     }
 
     g->arrivals = 0;
     STORM_TRACE("checker: round %d release", r);
-    trace::emit(trace::Ev::kStormRound, 0, static_cast<std::uint32_t>(r));
+    // Replayed rounds (an async abort rolls back past already-marked
+    // rounds) must not re-emit their marker: the digest counts every round
+    // exactly once.
+    if (r > g->ft_max_marked_round) {
+      trace::emit(trace::Ev::kStormRound, 0, static_cast<std::uint32_t>(r));
+      g->ft_max_marked_round = r;
+    }
     converse::broadcast(h_release, pup::to_bytes(std::int32_t{r}));
   }
 
@@ -828,6 +958,10 @@ void checker_main(charm::ArrayBase* array) {
   // completed before the workers can finish; a failure here is real.
   MFC_CHECK_MSG(g->ft_phase == StormGlobal::FtPhase::kNone,
                 "storm: failure interrupted the final done-wait");
+  // An async epoch may still be streaming to its buddies; wait for the
+  // commit before tearing the machine down (the background handlers need
+  // live PE loops to finish).
+  if (ft::active()) ft::checkpoint_sync();
   STORM_TRACE("checker: done, final QD");
   // Workers have sent their done messages; quiescence additionally implies
   // each has finished exiting (an exiting worker still in a ready queue
@@ -852,6 +986,10 @@ void checker_main(charm::ArrayBase* array) {
 void storm_entry(int pe) {
   StormGlobal* g = g_storm;
   const StormOptions& opt = g->opt;
+
+  // Every kernel thread that can fault on a write-protected worker stack
+  // needs an alternate signal stack before the first arm().
+  if (!g->trackers.empty()) ft::DirtyTracker::bind_thread();
 
   charm::Array<StormElement> array(kArrayId, opt.array_elements);
   converse::barrier();
@@ -894,6 +1032,9 @@ StormReport run_storm(const StormOptions& options) {
                 "storm: buddy checkpointing needs npes >= 2");
   MFC_CHECK_MSG(options.ft_kill_every == 0 || ft_on,
                 "storm: ft_kill_every requires ft_checkpoint_every");
+  MFC_CHECK_MSG(options.ft_mode >= 0 && options.ft_mode <= 2,
+                "storm: ft_mode must be 0 (full), 1 (incremental), or 2 "
+                "(async)");
   register_storm_handlers();
 
   // Kills draw their victims from keyed chaos, so the kill schedule forces
@@ -907,6 +1048,12 @@ StormReport run_storm(const StormOptions& options) {
 
   auto g = std::make_unique<StormGlobal>();
   g->opt = opt;
+#if !defined(MFC_STORM_TSAN)
+  if (ft_on && opt.ft_mode != 0) {
+    g->trackers.resize(static_cast<std::size_t>(opt.npes));
+    for (auto& t : g->trackers) t = std::make_unique<ft::DirtyTracker>();
+  }
+#endif
   g->workers.resize(static_cast<std::size_t>(opt.workers));
   g->mains.assign(static_cast<std::size_t>(opt.npes), nullptr);
   g->traffic = SplitMix64(mix2(opt.seed, kTrafficSalt));
@@ -916,6 +1063,11 @@ StormReport run_storm(const StormOptions& options) {
                         static_cast<std::uint64_t>(w)));
     auto& route = g->itinerary[static_cast<std::size_t>(w)];
     route.resize(static_cast<std::size_t>(opt.rounds));
+    if (w < opt.stationary_workers) {
+      // Pinned: every hop is a self-migration back to the birth PE.
+      std::fill(route.begin(), route.end(), w % opt.npes);
+      continue;
+    }
     for (int r = 0; r < opt.rounds; ++r) {
       route[static_cast<std::size_t>(r)] = static_cast<int>(
           rng.next_below(static_cast<std::uint64_t>(opt.npes)));
@@ -1009,6 +1161,7 @@ StormReport run_storm(const StormOptions& options) {
     rep.ft_trace_digest = sum.digest({trace::Ev::kStormRound,
                                       trace::Ev::kFtCheckpointBegin,
                                       trace::Ev::kFtCheckpointEnd});
+    rep.rounds_digest = sum.digest({trace::Ev::kStormRound});
   }
   if (ft_on) {
     rep.ft_epochs = ft::epochs();
@@ -1017,6 +1170,10 @@ StormReport run_storm(const StormOptions& options) {
     rep.ft_recoveries = ft::recoveries();
     rep.ft_checkpoint_bytes =
         metrics::total(metrics::Counter::kFtCheckpointBytes);
+    rep.ft_ship_bytes = metrics::total(metrics::Counter::kFtShipBytes);
+    rep.ft_delta_ranges = metrics::total(metrics::Counter::kFtDeltaRanges);
+    rep.ft_async_chunks = metrics::total(metrics::Counter::kFtAsyncChunks);
+    rep.ft_dirty_pages = metrics::total(metrics::Counter::kFtDirtyPages);
     ft::uninstall();
   }
   if (g->transport != nullptr) {

@@ -1,7 +1,9 @@
 #include "ft/ft.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 #include <utility>
 
@@ -10,21 +12,59 @@
 #include "trace/trace.h"
 #include "ult/scheduler.h"
 #include "util/check.h"
+#include "util/crc32.h"
 
 namespace mfc::ft {
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Granularity of the incremental diff. A fixed 4 KiB keeps the delta wire
+/// format independent of the host page size (blobs are plain byte vectors,
+/// not mapped memory, so there is nothing to align with anyway).
+constexpr std::size_t kDeltaPage = 4096;
+
+/// Async stream chunk size: big enough to amortize per-message overhead,
+/// small enough that the buddy's handler never stalls its PE loop.
+constexpr std::size_t kChunkBytes = 64 * 1024;
+
 /// One PE's slot in the double in-memory checkpoint store. Touched only by
 /// the owning PE's kernel thread (capture/store/refill handlers and the
 /// revival wipe all run there), so no lock is needed.
+///
+/// The committed pair (own/buddy) only ever changes at a commit broadcast
+/// or a recovery refill; captures and incoming stores land in the pending/
+/// stage slots first. A kill at any instant therefore leaves every
+/// surviving PE with an intact last-committed epoch to roll back to.
 struct PeStore {
   std::uint64_t own_epoch = 0;     ///< epoch of `own` (0 = empty)
-  std::vector<char> own;           ///< this PE's blob (local copy)
+  std::vector<char> own;           ///< this PE's blob (local copy, committed)
   std::int32_t buddy_src = -1;     ///< whose blob `buddy` is
   std::uint64_t buddy_epoch = 0;
-  std::vector<char> buddy;         ///< the predecessor's blob (buddy copy)
+  std::vector<char> buddy;         ///< the predecessor's blob (committed)
+
+  // Staged (uncommitted) captures and stores.
+  std::uint64_t pending_epoch = 0;  ///< epoch of `pending` (0 = none)
+  std::vector<char> pending;        ///< this PE's capture awaiting commit
+  std::int32_t stage_src = -1;
+  std::uint64_t stage_epoch = 0;
+  std::vector<char> stage;          ///< reconstructed buddy blob, staged
+
+  // Attempt stamp: set at capture, carried by async chunks. A chunk whose
+  // stamp differs from the receiver's current one is a straggler from an
+  // aborted attempt and is dropped.
+  std::uint64_t cur_attempt = 0;
+
+  // Async outbound stream (serialized StoreMsg toward the buddy).
+  std::vector<char> outbox;
+  std::size_t out_off = 0;
+  std::uint64_t out_epoch = 0;      ///< 0 = no stream in progress
+
+  // Async inbound reassembly (serialized StoreMsg from the predecessor).
+  std::vector<char> inbox;
+  std::size_t inbox_got = 0;
+  std::int32_t inbox_src = -1;
+  std::uint64_t inbox_epoch = 0;
 };
 
 struct FtState {
@@ -35,9 +75,15 @@ struct FtState {
   // ---- PE0-only protocol state (detector tick, checkpoint driver, and
   // recovery coordinator all run on PE0's kernel thread) ----
   std::uint64_t epoch = 0;          ///< last committed checkpoint epoch
-  int ckpt_acks = 0;
+  std::uint64_t pending_epoch = 0;  ///< epoch currently being checkpointed
+  CkptMode pending_mode = CkptMode::kFull;
+  std::uint64_t ckpt_attempt = 0;   ///< bumped per checkpoint_now call
+  int capture_acks = 0;             ///< outstanding capture acks (npes)
+  int store_acks = 0;               ///< outstanding buddy-store acks (npes)
   std::uint64_t ckpt_bytes = 0;     ///< local-copy bytes this epoch
+  bool async_inflight = false;      ///< kAsync epoch awaiting commit
   ult::Thread* ckpt_waiter = nullptr;
+  ult::Thread* sync_waiter = nullptr;
 
   bool clock_init = false;
   Clock::time_point last_ping;
@@ -54,9 +100,9 @@ struct FtState {
 
 FtState* g_state = nullptr;
 
-converse::HandlerId h_ping, h_pong, h_capture, h_store, h_ckpt_ack,
-    h_refill_own, h_refill_buddy, h_take_own, h_take_buddy, h_discard,
-    h_restore, h_rec_ack;
+converse::HandlerId h_ping, h_pong, h_capture, h_store, h_ckpt_ack, h_commit,
+    h_chunk, h_pump, h_ckpt_abort, h_refill_own, h_refill_buddy, h_take_own,
+    h_take_buddy, h_discard, h_restore, h_rec_ack;
 
 // ---- Wire messages ----------------------------------------------------------
 
@@ -67,9 +113,48 @@ struct BlobMsg {
   void pup(pup::Er& p) { p | src | epoch | blob; }
 };
 
+struct CaptureMsg {
+  std::uint64_t epoch = 0;
+  std::uint8_t mode = 0;  ///< CkptMode
+  std::uint64_t attempt = 0;
+  void pup(pup::Er& p) { p | epoch | mode | attempt; }
+};
+
+/// A buddy store: either the full blob (kind 0) or a page-granular delta
+/// against the previous committed epoch (kind 1: `offs`/`lens` describe the
+/// changed ranges, `blob` is their concatenated bytes). Either way the
+/// receiver reconstructs the full blob and checks it against `full_crc`.
+struct StoreMsg {
+  std::int32_t src = -1;
+  std::uint64_t epoch = 0;
+  std::uint8_t kind = 0;          ///< 0 full, 1 delta
+  std::uint64_t base_epoch = 0;   ///< delta: epoch the ranges patch
+  std::uint64_t full_len = 0;     ///< reconstructed blob length
+  std::uint32_t full_crc = 0;     ///< CRC-32C of the reconstructed blob
+  std::vector<std::uint64_t> offs;
+  std::vector<std::uint64_t> lens;
+  std::vector<char> blob;
+  void pup(pup::Er& p) {
+    p | src | epoch | kind | base_epoch | full_len | full_crc | offs | lens |
+        blob;
+  }
+};
+
 struct AckMsg {
+  std::uint64_t epoch = 0;
+  std::uint8_t phase = 0;  ///< 0 = capture ack, 1 = buddy-store ack
   std::uint64_t bytes = 0;
-  void pup(pup::Er& p) { p | bytes; }
+  void pup(pup::Er& p) { p | epoch | phase | bytes; }
+};
+
+struct ChunkMsg {
+  std::int32_t src = -1;
+  std::uint64_t epoch = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t total = 0;  ///< serialized StoreMsg length
+  std::uint64_t off = 0;
+  std::vector<char> bytes;
+  void pup(pup::Er& p) { p | src | epoch | attempt | total | off | bytes; }
 };
 
 /// Every FT protocol send goes through here so the send is counted in the
@@ -85,40 +170,280 @@ void count_delivery() { metrics::bump(metrics::Counter::kFtDelivered); }
 
 // ---- Checkpoint -------------------------------------------------------------
 
+/// Builds the buddy store for this PE's fresh capture. `allow_delta` diffs
+/// the capture against the previous committed local blob in kDeltaPage
+/// blocks and ships only the changed ranges — valid iff the committed blob
+/// is exactly one epoch old and the same length; otherwise (and whenever
+/// the delta would not actually be smaller) it degrades to a full ship.
+StoreMsg build_store(int me, std::uint64_t epoch, const std::vector<char>& blob,
+                     const PeStore& st, bool allow_delta) {
+  StoreMsg sm;
+  sm.src = me;
+  sm.epoch = epoch;
+  sm.full_len = blob.size();
+  sm.full_crc = crc32(blob.data(), blob.size());
+  const bool have_base = allow_delta && st.own_epoch + 1 == epoch &&
+                         st.own.size() == blob.size() && !blob.empty();
+  if (have_base) {
+    std::size_t off = 0;
+    std::size_t delta_bytes = 0;
+    while (off < blob.size()) {
+      const std::size_t len = std::min(kDeltaPage, blob.size() - off);
+      if (std::memcmp(blob.data() + off, st.own.data() + off, len) != 0) {
+        if (!sm.offs.empty() && sm.offs.back() + sm.lens.back() == off) {
+          sm.lens.back() += len;
+        } else {
+          sm.offs.push_back(off);
+          sm.lens.push_back(len);
+        }
+        delta_bytes += len;
+      }
+      off += len;
+    }
+    // 16 bytes of range metadata per entry: a delta only wins if it beats
+    // the full ship including that overhead.
+    if (delta_bytes + 16 * sm.offs.size() < blob.size()) {
+      sm.kind = 1;
+      sm.base_epoch = epoch - 1;
+      sm.blob.reserve(delta_bytes);
+      for (std::size_t i = 0; i < sm.offs.size(); ++i) {
+        const char* p = blob.data() + sm.offs[i];
+        sm.blob.insert(sm.blob.end(), p, p + sm.lens[i]);
+      }
+      metrics::bump(metrics::Counter::kFtDeltaRanges, sm.offs.size());
+      metrics::bump(metrics::Counter::kFtShipBytes, sm.blob.size());
+      return sm;
+    }
+    sm.offs.clear();
+    sm.lens.clear();
+  }
+  sm.kind = 0;
+  sm.blob = blob;
+  metrics::bump(metrics::Counter::kFtShipBytes, sm.blob.size());
+  return sm;
+}
+
+/// Reconstructs the full blob a StoreMsg describes and stages it (does NOT
+/// touch the committed buddy slot — that happens at commit). Delta stores
+/// patch a copy of the committed buddy blob, so the base survives an abort.
+void apply_store(StoreMsg&& sm) {
+  FtState* s = g_state;
+  PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
+  if (sm.kind == 0) {
+    MFC_CHECK(sm.blob.size() == sm.full_len);
+    st.stage = std::move(sm.blob);
+  } else {
+    MFC_CHECK_MSG(st.buddy_src == sm.src && st.buddy_epoch == sm.base_epoch &&
+                      st.buddy.size() == sm.full_len,
+                  "ft: delta store without a matching committed base");
+    st.stage = st.buddy;
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < sm.offs.size(); ++i) {
+      MFC_CHECK(sm.offs[i] + sm.lens[i] <= st.stage.size());
+      std::memcpy(st.stage.data() + sm.offs[i], sm.blob.data() + pos,
+                  static_cast<std::size_t>(sm.lens[i]));
+      pos += static_cast<std::size_t>(sm.lens[i]);
+    }
+    MFC_CHECK(pos == sm.blob.size());
+  }
+  MFC_CHECK_MSG(crc32(st.stage.data(), st.stage.size()) == sm.full_crc,
+                "ft: staged checkpoint failed CRC verification");
+  st.stage_src = sm.src;
+  st.stage_epoch = sm.epoch;
+}
+
 void handle_capture(converse::Message&& m) {
   count_delivery();
   FtState* s = g_state;
-  const auto epoch = m.as<std::uint64_t>();
+  const auto cm = m.as<CaptureMsg>();
+  const auto mode = static_cast<CkptMode>(cm.mode);
   const int me = converse::my_pe();
-  std::vector<char> blob = s->hooks.capture(epoch);
-  const std::uint64_t bytes = blob.size();
   PeStore& st = s->store[static_cast<std::size_t>(me)];
-  st.own_epoch = epoch;
-  st.own = blob;  // keep the copy: the send below moves the original
-  ft_send(buddy_of(me), h_store, BlobMsg{me, epoch, std::move(blob)});
-  ft_send(0, h_ckpt_ack, AckMsg{bytes});
+  std::vector<char> blob = s->hooks.capture(cm.epoch);
+  const std::uint64_t bytes = blob.size();
+  st.cur_attempt = cm.attempt;
+  StoreMsg sm =
+      build_store(me, cm.epoch, blob, st, mode != CkptMode::kFull);
+  st.pending_epoch = cm.epoch;
+  st.pending = std::move(blob);
+  if (mode != CkptMode::kAsync) {
+    ft_send(buddy_of(me), h_store, sm);
+    ft_send(0, h_ckpt_ack, AckMsg{cm.epoch, 0, bytes});
+  } else {
+    // Capture is done — ack immediately so PE 0 can lift the exclusive
+    // window; the buddy ship streams in chunks via self-posted pump
+    // messages interleaved with application work.
+    st.outbox = pup::to_bytes_onepass(sm, sm.blob.size() + 256);
+    st.out_off = 0;
+    st.out_epoch = cm.epoch;
+    ft_send(0, h_ckpt_ack, AckMsg{cm.epoch, 0, bytes});
+    ft_send(me, h_pump, cm.epoch);
+  }
 }
 
 void handle_store(converse::Message&& m) {
   count_delivery();
+  auto sm = m.as<StoreMsg>();
+  const std::uint64_t epoch = sm.epoch;
+  apply_store(std::move(sm));
+  ft_send(0, h_ckpt_ack, AckMsg{epoch, 1, 0});
+}
+
+void handle_pump(converse::Message&& m) {
+  count_delivery();
   FtState* s = g_state;
-  auto bm = m.as<BlobMsg>();
+  const auto epoch = m.as<std::uint64_t>();
+  const int me = converse::my_pe();
+  PeStore& st = s->store[static_cast<std::size_t>(me)];
+  if (st.out_epoch != epoch) return;  // stream aborted meanwhile
+  const std::size_t total = st.outbox.size();
+  const std::size_t n = std::min(kChunkBytes, total - st.out_off);
+  ChunkMsg cm;
+  cm.src = me;
+  cm.epoch = epoch;
+  cm.attempt = st.cur_attempt;
+  cm.total = total;
+  cm.off = st.out_off;
+  cm.bytes.assign(st.outbox.begin() + static_cast<std::ptrdiff_t>(st.out_off),
+                  st.outbox.begin() +
+                      static_cast<std::ptrdiff_t>(st.out_off + n));
+  ft_send(buddy_of(me), h_chunk, cm);
+  metrics::bump(metrics::Counter::kFtAsyncChunks);
+  st.out_off += n;
+  if (st.out_off < total) {
+    ft_send(me, h_pump, epoch);
+  } else {
+    st.outbox.clear();
+    st.out_off = 0;
+    st.out_epoch = 0;
+  }
+}
+
+void handle_chunk(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  auto cm = m.as<ChunkMsg>();
   PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
-  st.buddy_src = bm.src;
-  st.buddy_epoch = bm.epoch;
-  st.buddy = std::move(bm.blob);
-  ft_send(0, h_ckpt_ack, AckMsg{0});
+  if (cm.attempt != st.cur_attempt) return;  // straggler, attempt aborted
+  if (st.inbox_src != cm.src || st.inbox_epoch != cm.epoch) {
+    st.inbox.assign(static_cast<std::size_t>(cm.total), 0);
+    st.inbox_got = 0;
+    st.inbox_src = cm.src;
+    st.inbox_epoch = cm.epoch;
+  }
+  MFC_CHECK(cm.off + cm.bytes.size() <= st.inbox.size());
+  std::memcpy(st.inbox.data() + cm.off, cm.bytes.data(), cm.bytes.size());
+  st.inbox_got += cm.bytes.size();
+  if (st.inbox_got < st.inbox.size()) return;
+  StoreMsg sm;
+  pup::from_bytes(st.inbox, sm);
+  st.inbox.clear();
+  st.inbox_got = 0;
+  st.inbox_src = -1;
+  st.inbox_epoch = 0;
+  const std::uint64_t epoch = sm.epoch;
+  apply_store(std::move(sm));
+  ft_send(0, h_ckpt_ack, AckMsg{epoch, 1, 0});
+}
+
+void handle_commit(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  const auto epoch = m.as<std::uint64_t>();
+  PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
+  if (st.pending_epoch == epoch) {
+    st.own_epoch = epoch;
+    st.own = std::move(st.pending);
+    st.pending.clear();
+    st.pending_epoch = 0;
+  }
+  if (st.stage_epoch == epoch) {
+    st.buddy_src = st.stage_src;
+    st.buddy_epoch = epoch;
+    st.buddy = std::move(st.stage);
+    st.stage.clear();
+    st.stage_epoch = 0;
+    st.stage_src = -1;
+  }
+}
+
+/// PE0: all 2·npes acks are in — promote the epoch everywhere. Per-sender
+/// FIFO guarantees each PE sees the commit before any later protocol
+/// message from PE 0 (next capture, recovery refill, restore, ...).
+void commit_epoch() {
+  FtState* s = g_state;
+  const std::uint64_t e = s->pending_epoch;
+  for (int pe = 0; pe < s->npes; ++pe) ft_send(pe, h_commit, e);
+  s->epoch = e;
+  s->pending_epoch = 0;
+  s->async_inflight = false;
+  metrics::bump(metrics::Counter::kFtCheckpoints);
+  metrics::bump(metrics::Counter::kFtCheckpointBytes, s->ckpt_bytes);
+  trace::emit(trace::Ev::kFtCheckpointEnd, e, 0,
+              static_cast<std::uint32_t>(
+                  s->ckpt_bytes > 0xffffffffu ? 0xffffffffu : s->ckpt_bytes));
+  if (s->sync_waiter != nullptr) {
+    ult::Thread* t = s->sync_waiter;
+    s->sync_waiter = nullptr;
+    converse::ready_thread(t);
+  }
 }
 
 void handle_ckpt_ack(converse::Message&& m) {
   count_delivery();
   FtState* s = g_state;
-  s->ckpt_bytes += m.as<AckMsg>().bytes;
-  if (--s->ckpt_acks == 0 && s->ckpt_waiter != nullptr) {
+  const auto am = m.as<AckMsg>();
+  if (am.epoch != s->pending_epoch) return;  // ack for an aborted epoch
+  if (am.phase == 0) {
+    s->ckpt_bytes += am.bytes;
+    --s->capture_acks;
+  } else {
+    --s->store_acks;
+  }
+  if (s->pending_mode != CkptMode::kAsync) {
+    // Synchronous modes: checkpoint_now owns the commit; wake it once the
+    // full 2·npes barrier drains.
+    if (s->capture_acks == 0 && s->store_acks == 0 &&
+        s->ckpt_waiter != nullptr) {
+      ult::Thread* t = s->ckpt_waiter;
+      s->ckpt_waiter = nullptr;
+      converse::ready_thread(t);
+    }
+    return;
+  }
+  // Async: the capture barrier releases checkpoint_now; the store barrier
+  // completes later in handler context and commits right here.
+  if (s->capture_acks == 0 && s->ckpt_waiter != nullptr) {
     ult::Thread* t = s->ckpt_waiter;
     s->ckpt_waiter = nullptr;
     converse::ready_thread(t);
   }
+  if (s->capture_acks == 0 && s->store_acks == 0) commit_epoch();
+}
+
+void handle_ckpt_abort(converse::Message&& m) {
+  count_delivery();
+  FtState* s = g_state;
+  const auto epoch = m.as<std::uint64_t>();
+  PeStore& st = s->store[static_cast<std::size_t>(converse::my_pe())];
+  st.pending_epoch = 0;
+  st.pending.clear();
+  if (st.stage_epoch == epoch) {
+    st.stage.clear();
+    st.stage_epoch = 0;
+    st.stage_src = -1;
+  }
+  st.out_epoch = 0;
+  st.out_off = 0;
+  st.outbox.clear();
+  st.inbox.clear();
+  st.inbox_got = 0;
+  st.inbox_src = -1;
+  st.inbox_epoch = 0;
+  // Straggler chunks of the aborted attempt carry a nonzero stamp and will
+  // mismatch; the replayed epoch gets a fresh stamp at its capture.
+  st.cur_attempt = 0;
+  ft_send(0, h_rec_ack, AckMsg{});
 }
 
 // ---- Detector ---------------------------------------------------------------
@@ -277,6 +602,25 @@ void recovery_main() {
   // them along with everything else.
   converse::wait_quiescence();
 
+  // An async epoch that had not committed when the failure hit is aborted:
+  // every PE drops its pending capture, staged store, and stream buffers.
+  // The rollback then lands on the previous committed epoch, and the
+  // aborted epoch number is simply reused when the replay reaches its
+  // checkpoint round again. No End event was emitted and no checkpoint
+  // counter bumped, so committed-epoch books match a failure-free run.
+  if (s->async_inflight) {
+    const std::uint64_t e = s->pending_epoch;
+    s->pending_epoch = 0;
+    s->async_inflight = false;
+    for (int pe = 0; pe < npes; ++pe) ft_send(pe, h_ckpt_abort, e);
+    rec_wait(npes);
+    if (s->sync_waiter != nullptr) {
+      ult::Thread* t = s->sync_waiter;
+      s->sync_waiter = nullptr;
+      converse::ready_thread(t);
+    }
+  }
+
   // Refill the victim's checkpoint store from the two surviving copies.
   ft_send(buddy_of(v), h_refill_own, std::int32_t{v});
   ft_send((v - 1 + npes) % npes, h_refill_buddy, std::int32_t{v});
@@ -309,7 +653,7 @@ void recovery_main() {
 void on_revive(int pe) {
   FtState* s = g_state;
   PeStore& st = s->store[static_cast<std::size_t>(pe)];
-  st = PeStore{};  // the failure lost both blobs the PE held
+  st = PeStore{};  // the failure lost both blobs (and any staging) it held
   if (s->hooks.wipe) s->hooks.wipe(pe);
 }
 
@@ -321,6 +665,10 @@ void register_ft_handlers() {
     h_capture = converse::register_handler(handle_capture);
     h_store = converse::register_handler(handle_store);
     h_ckpt_ack = converse::register_handler(handle_ckpt_ack);
+    h_commit = converse::register_handler(handle_commit);
+    h_chunk = converse::register_handler(handle_chunk);
+    h_pump = converse::register_handler(handle_pump);
+    h_ckpt_abort = converse::register_handler(handle_ckpt_abort);
     h_refill_own = converse::register_handler(handle_refill_own);
     h_refill_buddy = converse::register_handler(handle_refill_buddy);
     h_take_own = converse::register_handler(handle_take_own);
@@ -357,26 +705,47 @@ void uninstall() {
 
 bool active() { return g_state != nullptr; }
 
-std::uint64_t checkpoint_now() {
+std::uint64_t checkpoint_now(CkptMode mode) {
   FtState* s = g_state;
   MFC_CHECK_MSG(s != nullptr, "ft: checkpoint_now without install");
   MFC_CHECK_MSG(converse::my_pe() == 0 &&
                     converse::pe_scheduler().in_thread(),
                 "ft: checkpoint_now must run in a ULT on PE 0");
   MFC_CHECK_MSG(!s->recovering, "ft: checkpoint during recovery");
+  if (s->async_inflight) checkpoint_sync();  // one epoch in flight at a time
   converse::wait_quiescence();
   trace::emit(trace::Ev::kFtCheckpointBegin, s->epoch + 1);
-  ++s->epoch;
-  s->ckpt_acks = 2 * s->npes;  // one capture ack + one buddy-store ack per PE
+  const std::uint64_t e = s->epoch + 1;
+  s->pending_epoch = e;
+  s->pending_mode = mode;
+  s->ckpt_attempt += 1;
+  s->capture_acks = s->npes;
+  s->store_acks = s->npes;
   s->ckpt_bytes = 0;
+  s->async_inflight = (mode == CkptMode::kAsync);
   s->ckpt_waiter = converse::pe_scheduler().running();
-  for (int pe = 0; pe < s->npes; ++pe) ft_send(pe, h_capture, s->epoch);
+  for (int pe = 0; pe < s->npes; ++pe) {
+    ft_send(pe, h_capture,
+            CaptureMsg{e, static_cast<std::uint8_t>(mode), s->ckpt_attempt});
+  }
   ult::suspend();
-  metrics::bump(metrics::Counter::kFtCheckpoints);
-  metrics::bump(metrics::Counter::kFtCheckpointBytes, s->ckpt_bytes);
-  trace::emit(trace::Ev::kFtCheckpointEnd, s->epoch, 0,
-              static_cast<std::uint32_t>(
-                  s->ckpt_bytes > 0xffffffffu ? 0xffffffffu : s->ckpt_bytes));
+  // kFull/kIncremental resume with all 2·npes acks in: commit now, still
+  // inside the exclusive window. kAsync resumes after the npes capture
+  // acks; its commit runs from the ack handler once the stores drain.
+  if (mode != CkptMode::kAsync) commit_epoch();
+  return e;
+}
+
+std::uint64_t checkpoint_sync() {
+  FtState* s = g_state;
+  MFC_CHECK_MSG(s != nullptr, "ft: checkpoint_sync without install");
+  if (!s->async_inflight) return s->epoch;
+  MFC_CHECK_MSG(converse::my_pe() == 0 &&
+                    converse::pe_scheduler().in_thread(),
+                "ft: checkpoint_sync must run in a ULT on PE 0");
+  MFC_CHECK_MSG(s->sync_waiter == nullptr, "ft: concurrent checkpoint_sync");
+  s->sync_waiter = converse::pe_scheduler().running();
+  ult::suspend();
   return s->epoch;
 }
 

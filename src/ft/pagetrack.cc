@@ -1,0 +1,248 @@
+#include "ft/pagetrack.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+
+#include "util/check.h"
+#include "util/crc32.h"  // capability probes live with the other dispatchers
+
+namespace mfc::ft {
+
+struct DirtyTracker::Range {
+  std::uintptr_t base = 0;
+  std::size_t len = 0;
+  std::size_t pages = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bits;  // 1 bit per page
+
+  void clear_bits() {
+    const std::size_t words = (pages + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+      bits[w].store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+namespace {
+
+std::size_t page_size() {
+  static const auto psz = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return psz;
+}
+
+// Registry the signal handler scans: fixed slots published/retired with
+// atomic stores, never locked (the handler can run on any kernel thread at
+// any moment). A slot holds an *armed* range only.
+constexpr std::size_t kSlots = 4096;
+std::atomic<DirtyTracker::Range*> g_slots[kSlots];
+std::atomic<std::size_t> g_high_water{0};
+
+struct sigaction g_prev_sigsegv;
+std::atomic<bool> g_handler_installed{false};
+
+void publish(DirtyTracker::Range* r) {
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    DirtyTracker::Range* expect = nullptr;
+    if (g_slots[i].compare_exchange_strong(expect, r,
+                                           std::memory_order_release)) {
+      std::size_t hw = g_high_water.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !g_high_water.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_release)) {
+      }
+      return;
+    }
+  }
+  MFC_CHECK_MSG(false, "dirty tracker: registry full");
+}
+
+void retire(DirtyTracker::Range* r) {
+  const std::size_t hw = g_high_water.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    DirtyTracker::Range* expect = r;
+    if (g_slots[i].compare_exchange_strong(expect, nullptr,
+                                           std::memory_order_release)) {
+      return;
+    }
+  }
+}
+
+void write_barrier_handler(int sig, siginfo_t* info, void* ctx) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
+  const std::size_t hw = g_high_water.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    DirtyTracker::Range* r = g_slots[i].load(std::memory_order_acquire);
+    if (r == nullptr || addr < r->base || addr >= r->base + r->len) continue;
+    const std::size_t page = (addr - r->base) / page_size();
+    r->bits[page / 64].fetch_or(1ULL << (page % 64),
+                                std::memory_order_relaxed);
+    // Unprotect just this page and retry the faulting write.
+    void* page_addr =
+        reinterpret_cast<void*>(r->base + page * page_size());
+    if (mprotect(page_addr, page_size(), PROT_READ | PROT_WRITE) == 0) {
+      return;
+    }
+    break;  // mprotect failed — treat as a foreign fault
+  }
+  // Not one of ours: hand the fault to whoever was installed before us.
+  // Reinstating the previous disposition and returning retries the fault
+  // under that disposition (default action = die with the right si_addr).
+  if ((g_prev_sigsegv.sa_flags & SA_SIGINFO) != 0 &&
+      g_prev_sigsegv.sa_sigaction != nullptr) {
+    g_prev_sigsegv.sa_sigaction(sig, info, ctx);
+    return;
+  }
+  sigaction(SIGSEGV, &g_prev_sigsegv, nullptr);
+}
+
+void install_handler_once() {
+  bool expected = false;
+  if (!g_handler_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_sigaction = &write_barrier_handler;
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  MFC_CHECK(sigaction(SIGSEGV, &sa, &g_prev_sigsegv) == 0);
+}
+
+}  // namespace
+
+std::size_t DirtyTracker::page_bytes() { return page_size(); }
+
+bool DirtyTracker::userfaultfd_wp_available() {
+  return mfc::detail::userfaultfd_wp_available();
+}
+
+void DirtyTracker::bind_thread() {
+  // One alternate stack per kernel thread: a write fault on a protected ULT
+  // stack cannot deliver a signal frame onto that same stack.
+  thread_local std::unique_ptr<char[]> altstack;
+  if (altstack) return;
+  constexpr std::size_t bytes = 64 * 1024;
+  altstack.reset(new char[bytes]);
+  stack_t ss;
+  ss.ss_sp = altstack.get();
+  ss.ss_size = bytes;
+  ss.ss_flags = 0;
+  MFC_CHECK(sigaltstack(&ss, nullptr) == 0);
+}
+
+DirtyTracker::~DirtyTracker() {
+  disarm();
+  untrack_all();
+}
+
+DirtyTracker::Range* DirtyTracker::find(const void* base) const {
+  const auto b = reinterpret_cast<std::uintptr_t>(base);
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (ranges_[i]->base == b) return ranges_[i];
+  }
+  return nullptr;
+}
+
+void DirtyTracker::track(void* base, std::size_t len) {
+  const auto b = reinterpret_cast<std::uintptr_t>(base);
+  MFC_CHECK_MSG(b % page_size() == 0 && len % page_size() == 0 && len > 0,
+                "dirty tracker ranges must be whole pages");
+  MFC_CHECK_MSG(find(base) == nullptr, "range already tracked");
+  MFC_CHECK_MSG(count_ < kMaxRanges, "dirty tracker: too many ranges");
+  auto* r = new Range;
+  r->base = b;
+  r->len = len;
+  r->pages = len / page_size();
+  r->bits.reset(new std::atomic<std::uint64_t>[(r->pages + 63) / 64]);
+  r->clear_bits();
+  ranges_[count_++] = r;
+  if (armed_) {
+    install_handler_once();
+    publish(r);
+    MFC_CHECK(mprotect(base, len, PROT_READ) == 0);
+  }
+}
+
+void DirtyTracker::untrack(void* base) {
+  Range* r = find(base);
+  MFC_CHECK_MSG(r != nullptr, "untrack of unknown range");
+  if (armed_) {
+    retire(r);
+    MFC_CHECK(mprotect(reinterpret_cast<void*>(r->base), r->len,
+                       PROT_READ | PROT_WRITE) == 0);
+  }
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (ranges_[i] == r) {
+      ranges_[i] = ranges_[--count_];
+      break;
+    }
+  }
+  delete r;
+}
+
+void DirtyTracker::untrack_all() {
+  while (count_ > 0) {
+    untrack(reinterpret_cast<void*>(ranges_[count_ - 1]->base));
+  }
+}
+
+bool DirtyTracker::tracking(const void* base) const {
+  return find(base) != nullptr;
+}
+
+void DirtyTracker::arm() {
+  if (armed_) disarm();
+  install_handler_once();
+  for (std::size_t i = 0; i < count_; ++i) {
+    Range* r = ranges_[i];
+    r->clear_bits();
+    publish(r);
+    MFC_CHECK(mprotect(reinterpret_cast<void*>(r->base), r->len, PROT_READ) ==
+              0);
+  }
+  armed_ = true;
+}
+
+void DirtyTracker::disarm() {
+  if (!armed_) return;
+  for (std::size_t i = 0; i < count_; ++i) {
+    Range* r = ranges_[i];
+    retire(r);
+    MFC_CHECK(mprotect(reinterpret_cast<void*>(r->base), r->len,
+                       PROT_READ | PROT_WRITE) == 0);
+  }
+  armed_ = false;
+}
+
+std::size_t DirtyTracker::dirty_pages_in(const void* base,
+                                         std::size_t len) const {
+  if (len == 0) return 0;
+  const auto b = reinterpret_cast<std::uintptr_t>(base);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Range* r = ranges_[i];
+    if (b < r->base || b + len > r->base + r->len) continue;
+    const std::size_t first = (b - r->base) / page_size();
+    const std::size_t last = (b + len - 1 - r->base) / page_size();
+    std::size_t dirty = 0;
+    for (std::size_t page = first; page <= last; ++page) {
+      const std::uint64_t word =
+          r->bits[page / 64].load(std::memory_order_relaxed);
+      dirty += (word >> (page % 64)) & 1u;
+    }
+    return dirty;
+  }
+  MFC_CHECK_MSG(false, "dirty query outside any tracked range");
+  return 0;
+}
+
+std::size_t DirtyTracker::dirty_total() const {
+  std::size_t dirty = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Range* r = ranges_[i];
+    dirty += dirty_pages_in(reinterpret_cast<const void*>(r->base), r->len);
+  }
+  return dirty;
+}
+
+}  // namespace mfc::ft

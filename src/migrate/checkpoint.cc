@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "iso/region.h"
+#include "ult/scheduler.h"
 #include "util/check.h"
 #include "util/crc32.h"
 
@@ -56,6 +57,7 @@ void Checkpoint::add(MigratableThread* thread) {
     stamped_ = true;
   }
   images_.push_back(thread->pack());
+  note_size(images_.back());
 }
 
 void Checkpoint::add_image(ThreadImage image) {
@@ -64,6 +66,17 @@ void Checkpoint::add_image(ThreadImage image) {
     stamped_ = true;
   }
   images_.push_back(std::move(image));
+  note_size(images_.back());
+}
+
+void Checkpoint::note_size(const ThreadImage& image) {
+  // Size phase of the sizing cache: measured once here, consumed by
+  // encode()'s pack phase — valid only while no ULT dispatch intervenes.
+  if (sized_at_dispatch_ != ult::dispatch_count()) image_sizes_.clear();
+  if (image_sizes_.size() + 1 == images_.size()) {
+    image_sizes_.push_back(pup::packed_size(image));
+    sized_at_dispatch_ = ult::dispatch_count();
+  }
 }
 
 std::vector<MigratableThread*> Checkpoint::restore_all(int dest_pe) {
@@ -89,17 +102,99 @@ void Checkpoint::pup(pup::Er& p) {
   p | stamped_ | stamp_ | images_ | user_data_;
 }
 
+namespace {
+
+void write_frame_header(char* frame, std::uint64_t payload_len,
+                        std::uint32_t crc) {
+  std::memcpy(frame, &kMagic, 4);
+  std::memcpy(frame + 4, &kVersion, 4);
+  std::memcpy(frame + 8, &payload_len, 8);
+  std::memcpy(frame + 16, &crc, 4);
+}
+
+}  // namespace
+
 std::vector<char> Checkpoint::encode() const {
-  const std::vector<char> payload = pup::to_bytes(*this);
-  std::vector<char> frame(kHeaderBytes + payload.size());
-  const std::uint64_t len = payload.size();
-  const std::uint32_t crc = crc32(payload.data(), payload.size());
-  char* p = frame.data();
-  std::memcpy(p, &kMagic, 4);
-  std::memcpy(p + 4, &kVersion, 4);
-  std::memcpy(p + 8, &len, 8);
-  std::memcpy(p + 16, &crc, 4);
-  std::memcpy(p + kHeaderBytes, payload.data(), payload.size());
+  auto& self = const_cast<Checkpoint&>(*this);
+
+  // Size phase: per-image sizes come from the cache filled at add() time
+  // unless a ULT dispatch invalidated it; the non-image fields are O(1) to
+  // size. This leaves exactly one full traversal — the pack below — where
+  // the old path walked the images for sizing, again for packing, then
+  // scanned the payload for the CRC and memcpy'd it into the frame.
+  if (image_sizes_.size() != images_.size() ||
+      sized_at_dispatch_ != ult::dispatch_count()) {
+    image_sizes_.clear();
+    image_sizes_.reserve(images_.size());
+    for (const ThreadImage& image : images_) {
+      image_sizes_.push_back(pup::packed_size(image));
+    }
+    sized_at_dispatch_ = ult::dispatch_count();
+  }
+  pup::Sizer meta;
+  meta | self.stamped_ | self.stamp_ | self.user_data_;
+  std::size_t payload_len = meta.size() + sizeof(std::size_t);
+  for (std::size_t s : image_sizes_) payload_len += s;
+
+  // Pack phase: one pass writes the payload directly into the frame and
+  // folds the CRC-32C as it copies.
+  std::vector<char> frame(kHeaderBytes + payload_len);
+  pup::CrcMemPacker p(frame.data() + kHeaderBytes, payload_len);
+  p | self.stamped_ | self.stamp_;
+  std::size_t n = images_.size();
+  p.bytes(&n, sizeof n);
+  for (ThreadImage& image : self.images_) image.pup(p);
+  p | self.user_data_;
+  MFC_CHECK(p.written(frame.data() + kHeaderBytes) == payload_len);
+  write_frame_header(frame.data(), payload_len, p.crc());
+  return frame;
+}
+
+void GatherCheckpoint::stamp_once() {
+  if (!stamped_) {
+    stamp_ = Checkpoint::current_stamp();
+    stamped_ = true;
+  }
+}
+
+void GatherCheckpoint::add_manifest(const ImageManifest& m) {
+  stamp_once();
+  sources_.push_back({&m, nullptr, 0});
+}
+
+void GatherCheckpoint::add_image_bytes(const char* data, std::size_t len) {
+  stamp_once();
+  sources_.push_back({nullptr, data, len});
+}
+
+std::vector<char> GatherCheckpoint::encode() const {
+  auto& self = const_cast<GatherCheckpoint&>(*this);
+
+  // Size phase: manifests size in O(#runs), cached byte spans in O(1).
+  pup::Sizer meta;
+  meta | self.stamped_ | self.stamp_ | self.user_data_;
+  std::size_t payload_len = meta.size() + sizeof(std::size_t);
+  for (const Source& s : sources_) {
+    payload_len += s.manifest != nullptr ? s.manifest->wire_size() : s.len;
+  }
+
+  // Pack phase: a single gather pass over the referenced memory, CRC folded
+  // per iovec as the bytes land in the frame.
+  std::vector<char> frame(kHeaderBytes + payload_len);
+  pup::CrcMemPacker p(frame.data() + kHeaderBytes, payload_len);
+  p | self.stamped_ | self.stamp_;
+  std::size_t n = sources_.size();
+  p.bytes(&n, sizeof n);
+  for (const Source& s : sources_) {
+    if (s.manifest != nullptr) {
+      s.manifest->pup_into(p);
+    } else {
+      p.bytes(const_cast<char*>(s.data), s.len);
+    }
+  }
+  p | self.user_data_;
+  MFC_CHECK(p.written(frame.data() + kHeaderBytes) == payload_len);
+  write_frame_header(frame.data(), payload_len, p.crc());
   return frame;
 }
 

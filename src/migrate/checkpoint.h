@@ -82,6 +82,8 @@ class Checkpoint {
   static Checkpoint read_file(const std::string& path);
 
  private:
+  friend class GatherCheckpoint;
+
   struct RegionStamp {
     std::uint64_t base = 0;
     std::uint64_t slot_bytes = 0;
@@ -91,10 +93,59 @@ class Checkpoint {
   };
 
   static RegionStamp current_stamp();
+  void note_size(const ThreadImage& image);
 
   RegionStamp stamp_;
   bool stamped_ = false;
   std::vector<ThreadImage> images_;
+  std::vector<char> user_data_;
+
+  // PUP sizing cache: packed size per image, measured once when the image
+  // is added and reused by encode() so the size and pack phases of one
+  // checkpoint share a single traversal. Invalidated if any ULT dispatch
+  // happened in between (images are stored by value, so the guard is
+  // belt-and-braces — but a dispatch is the only window in which anyone
+  // could hand us a mutated image).
+  mutable std::vector<std::size_t> image_sizes_;
+  mutable std::uint64_t sized_at_dispatch_ = 0;
+};
+
+/// Zero-copy checkpoint encoder: the ft capture path's replacement for
+/// Checkpoint::add_image(copy) + encode(). Sources are either borrowed
+/// image manifests (gathered straight from the threads' live memory) or
+/// pre-serialized image bytes (the dirty-run cache hands these in), and
+/// encode() writes the frame in a single pass that computes the CRC-32C as
+/// it copies. The produced frame is byte-for-byte what a Checkpoint holding
+/// equivalent images would encode, so decode/restore are unchanged.
+class GatherCheckpoint {
+ public:
+  /// Borrows `m` — it must stay valid (thread unmoved, not resumed) until
+  /// encode() is done.
+  void add_manifest(const ImageManifest& m);
+
+  /// Adds one image's pre-serialized PUP bytes (exactly what pup::to_bytes
+  /// of the ThreadImage would produce). Borrows the buffer.
+  void add_image_bytes(const char* data, std::size_t len);
+
+  void set_user_data(std::vector<char> bytes) { user_data_ = std::move(bytes); }
+
+  std::size_t thread_count() const { return sources_.size(); }
+
+  /// Framed single-pass encode (same frame layout as Checkpoint::encode).
+  std::vector<char> encode() const;
+
+ private:
+  struct Source {
+    const ImageManifest* manifest;  // either this ...
+    const char* data;               // ... or these
+    std::size_t len;
+  };
+
+  void stamp_once();
+
+  Checkpoint::RegionStamp stamp_;
+  bool stamped_ = false;
+  std::vector<Source> sources_;
   std::vector<char> user_data_;
 };
 

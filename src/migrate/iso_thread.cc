@@ -29,45 +29,65 @@ IsoThread::~IsoThread() {
 void IsoThread::on_switch_in() { iso::set_current_heap(heap_); }
 void IsoThread::on_switch_out() { iso::set_current_heap(nullptr); }
 
-ThreadImage IsoThread::pack() {
+ImageManifest IsoThread::pack_manifest(bool count) {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
-                "pack() requires a suspended thread");
-  trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
-              trace_tag(Technique::kIsomalloc));
-  metrics::bump(pack_counter(Technique::kIsomalloc));
+                "pack_manifest() requires a suspended thread");
   iso::Region& region = iso::Region::instance();
 
-  ThreadImage image;
-  image.technique = Technique::kIsomalloc;
-  image.thread_id = id();
-  image.accumulated_load = accumulated_load();
-  image.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
-  image.stack_slot = stack_slot_;
-  image.heap_slots = heap_->slots();
+  ImageManifest m;
+  m.technique = Technique::kIsomalloc;
+  m.thread_id = id();
+  m.accumulated_load = accumulated_load();
+  m.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
+  m.stack_slot = stack_slot_;
+  m.heap_slots = heap_->slots();
 
   // Stack run: only the live portion (from the saved stack pointer up to the
   // slot top) carries state; the System V ABI guarantees nothing below the
-  // saved sp is live across the swap_context call.
+  // saved sp is live across the swap_context call. Zero copies here — the
+  // manifest references the slot pages directly.
   {
     auto* base = static_cast<char*>(region.slot_base(stack_slot_));
     char* top = base + region.slot_span(stack_slot_);
     auto* sp = reinterpret_cast<char*>(saved_sp());
     MFC_CHECK(sp > base && sp <= top);
-    image.slot_data.emplace_back(sp, top);
+    m.runs.push_back({sp, static_cast<std::size_t>(top - sp)});
   }
   // Heap runs: whole spans (allocator metadata is distributed through them).
-  for (const iso::SlotId& id : image.heap_slots) {
+  for (const iso::SlotId& id : m.heap_slots) {
     auto* base = static_cast<char*>(region.slot_base(id));
-    image.slot_data.emplace_back(base, base + region.slot_span(id));
+    m.runs.push_back({base, region.slot_span(id)});
   }
 
-  // Drop the local pages: from now on the image is the only copy.
+  if (count) {
+    trace::emit(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
+                trace_tag(Technique::kIsomalloc));
+    metrics::bump(pack_counter(Technique::kIsomalloc));
+    trace::emit(trace::Ev::kMigratePackEnd, m.thread_id, 0,
+                static_cast<std::uint32_t>(m.payload_bytes()), -1,
+                trace_tag(Technique::kIsomalloc));
+  }
+  return m;
+}
+
+void IsoThread::complete_pack() {
+  // Drop the local pages: from now on the shipped bytes are the only copy.
+  iso::Region& region = iso::Region::instance();
+  const std::vector<iso::SlotId> heap_slots = heap_->slots();
   region.evacuate(stack_slot_);
-  for (const iso::SlotId& id : image.heap_slots) region.evacuate(id);
+  for (const iso::SlotId& id : heap_slots) region.evacuate(id);
   heap_->abandon();
   delete heap_;
   heap_ = nullptr;
   migrated_away_ = true;
+}
+
+ThreadImage IsoThread::pack() {
+  trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
+              trace_tag(Technique::kIsomalloc));
+  metrics::bump(pack_counter(Technique::kIsomalloc));
+  ThreadImage image = image_from_manifest(pack_manifest(false));
+  complete_pack();
   std::size_t wire = 0;
   for (const std::vector<char>& run : image.slot_data) wire += run.size();
   trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,

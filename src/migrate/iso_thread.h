@@ -26,6 +26,8 @@ class IsoThread final : public MigratableThread {
 
   Technique technique() const override { return Technique::kIsomalloc; }
   ThreadImage pack() override;
+  ImageManifest pack_manifest(bool count = false) override;
+  void complete_pack() override;
 
   /// Destination-side rebuild (called via MigratableThread::unpack).
   static IsoThread* from_image(ThreadImage image, int dest_pe);

@@ -69,26 +69,50 @@ void MemAliasThread::on_switch_out() {
   CommonStackArena::instance().unlock();
 }
 
-ThreadImage MemAliasThread::pack() {
+ImageManifest MemAliasThread::pack_manifest(bool count) {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
-                "pack() requires a suspended thread");
+                "pack_manifest() requires a suspended thread");
+  CommonStackArena& arena = CommonStackArena::instance();
+  ImageManifest m;
+  m.technique = Technique::kMemAlias;
+  m.thread_id = id();
+  m.accumulated_load = accumulated_load();
+  m.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
+  m.stack_capacity = stack_bytes_;
+  m.arena_base = reinterpret_cast<std::uint64_t>(arena.base());
+  // No stable in-address-space source: the pages live in the backing file
+  // and are only mapped while running. Stage them into the manifest (this
+  // technique keeps the copy path; it shares only the codec). The fd stays
+  // open so the thread remains resumable — checkpoint captures need that.
+  m.staged.resize(stack_bytes_);
+  ssize_t r = pread(backing_fd_, m.staged.data(), stack_bytes_, 0);
+  MFC_CHECK(r == static_cast<ssize_t>(stack_bytes_));
+  m.stack_run = {m.staged.data(), m.staged.size()};
+  if (count) {
+    trace::emit(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
+                trace_tag(Technique::kMemAlias));
+    metrics::bump(pack_counter(Technique::kMemAlias));
+    trace::emit(trace::Ev::kMigratePackEnd, m.thread_id, 0,
+                static_cast<std::uint32_t>(m.stack_run.len), -1,
+                trace_tag(Technique::kMemAlias));
+  }
+  return m;
+}
+
+void MemAliasThread::complete_pack() {
+  // The shipped bytes are now the only copy that matters: drop the local
+  // backing file and occupancy, leaving a husk exactly like pack() does.
+  CommonStackArena::instance().clear_occupant_if(this);
+  close(backing_fd_);
+  backing_fd_ = -1;
+}
+
+ThreadImage MemAliasThread::pack() {
   trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
               trace_tag(Technique::kMemAlias));
   metrics::bump(pack_counter(Technique::kMemAlias));
-  CommonStackArena& arena = CommonStackArena::instance();
-  arena.clear_occupant_if(this);
-  ThreadImage image;
-  image.technique = Technique::kMemAlias;
-  image.thread_id = id();
-  image.accumulated_load = accumulated_load();
-  image.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
-  image.stack_capacity = stack_bytes_;
-  image.arena_base = reinterpret_cast<std::uint64_t>(arena.base());
-  image.stack_bytes.resize(stack_bytes_);
-  ssize_t r = pread(backing_fd_, image.stack_bytes.data(), stack_bytes_, 0);
-  MFC_CHECK(r == static_cast<ssize_t>(stack_bytes_));
-  close(backing_fd_);
-  backing_fd_ = -1;
+  ThreadImage image = image_from_manifest(pack_manifest(false));
+  complete_pack();
   trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,
               static_cast<std::uint32_t>(image.stack_bytes.size()), -1,
               trace_tag(Technique::kMemAlias));

@@ -25,6 +25,8 @@ class MemAliasThread final : public MigratableThread {
 
   Technique technique() const override { return Technique::kMemAlias; }
   ThreadImage pack() override;
+  ImageManifest pack_manifest(bool count = false) override;
+  void complete_pack() override;
   static MemAliasThread* from_image(ThreadImage image);
 
   void on_switch_in() override;

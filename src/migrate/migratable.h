@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "iso/region.h"
+#include "migrate/manifest.h"
 #include "pup/pup.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
@@ -71,6 +72,11 @@ struct ThreadImage {
   }
 };
 
+/// Materializes a manifest into an owning ThreadImage (copies every run).
+/// pack() is implemented as pack_manifest() + this + complete_pack(), so
+/// the two paths cannot drift apart.
+ThreadImage image_from_manifest(const ImageManifest& m);
+
 class MigratableThread : public ult::Thread {
  public:
   virtual Technique technique() const = 0;
@@ -79,6 +85,22 @@ class MigratableThread : public ult::Thread {
   /// cannot pack itself while running). Consumes the thread's local memory:
   /// after pack() the object is a husk that must be deleted, not resumed.
   virtual ThreadImage pack() = 0;
+
+  /// Zero-copy pack: returns an iovec manifest referencing the thread's
+  /// live memory (isomalloc slots directly; stack-copy/memory-alias stage
+  /// into manifest-owned storage). Non-destructive — the thread stays
+  /// suspended and resumable, which is what checkpoint captures want. The
+  /// manifest is valid only until the thread next runs, migrates, or dies.
+  /// With `count` true the migration pack trace span and per-technique pack
+  /// counter are emitted, matching what pack() reports. Serializing the
+  /// manifest yields byte-for-byte the stream pup would produce for pack().
+  virtual ImageManifest pack_manifest(bool count = false) = 0;
+
+  /// Destructive epilogue of a manifest-based migration: drops the local
+  /// memory exactly as pack() would have (isomalloc evacuates its slots;
+  /// memory-alias closes its backing file). After this the object is a husk
+  /// that must be deleted. Not called for checkpoint-style captures.
+  virtual void complete_pack() = 0;
 
   /// Rebuilds a thread from an image on the destination. `dest_pe` is the
   /// arriving PE (used only for bookkeeping; addresses come from the image).

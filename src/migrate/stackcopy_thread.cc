@@ -55,21 +55,37 @@ void StackCopyThread::on_switch_out() {
   arena.unlock();
 }
 
-ThreadImage StackCopyThread::pack() {
+ImageManifest StackCopyThread::pack_manifest(bool count) {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
-                "pack() requires a suspended thread");
+                "pack_manifest() requires a suspended thread");
+  CommonStackArena& arena = CommonStackArena::instance();
+  ImageManifest m;
+  m.technique = Technique::kStackCopy;
+  m.thread_id = id();
+  m.accumulated_load = accumulated_load();
+  m.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
+  // The saved-stack buffer already holds the only copy of the live bytes
+  // while suspended; the manifest borrows it (valid until the thread runs).
+  m.stack_run = {saved_.data(), saved_.size()};
+  m.stack_capacity = stack_bytes_;
+  m.arena_base = reinterpret_cast<std::uint64_t>(arena.base());
+  if (count) {
+    trace::emit(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
+                trace_tag(Technique::kStackCopy));
+    metrics::bump(pack_counter(Technique::kStackCopy));
+    trace::emit(trace::Ev::kMigratePackEnd, m.thread_id, 0,
+                static_cast<std::uint32_t>(m.stack_run.len), -1,
+                trace_tag(Technique::kStackCopy));
+  }
+  return m;
+}
+
+ThreadImage StackCopyThread::pack() {
   trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
               trace_tag(Technique::kStackCopy));
   metrics::bump(pack_counter(Technique::kStackCopy));
-  CommonStackArena& arena = CommonStackArena::instance();
-  ThreadImage image;
-  image.technique = Technique::kStackCopy;
-  image.thread_id = id();
-  image.accumulated_load = accumulated_load();
-  image.saved_sp = reinterpret_cast<std::uint64_t>(saved_sp());
-  image.stack_bytes = saved_;
-  image.stack_capacity = stack_bytes_;
-  image.arena_base = reinterpret_cast<std::uint64_t>(arena.base());
+  ThreadImage image = image_from_manifest(pack_manifest(false));
+  complete_pack();
   trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,
               static_cast<std::uint32_t>(image.stack_bytes.size()), -1,
               trace_tag(Technique::kStackCopy));

@@ -26,6 +26,9 @@ class StackCopyThread final : public MigratableThread {
 
   Technique technique() const override { return Technique::kStackCopy; }
   ThreadImage pack() override;
+  ImageManifest pack_manifest(bool count = false) override;
+  void complete_pack() override {}  // nothing local to drop
+
   static StackCopyThread* from_image(ThreadImage image);
 
   void on_switch_in() override;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/crc32.h"
 
 namespace mfc::pup {
 
@@ -104,6 +105,60 @@ class MemUnpacker final : public Er {
  private:
   const char* cur_;
   const char* end_;
+};
+
+/// Single-traversal size+pack: appends into a growing vector, so callers
+/// that don't need an exact-size buffer up front skip the Sizer walk
+/// entirely — one traversal instead of two. Byte output is identical to
+/// Sizer+MemPacker because the traversal and append order are the same.
+class VecPacker final : public Er {
+ public:
+  /// Appends to `out` (existing contents are kept). `reserve_hint` presizes
+  /// the vector to avoid growth reallocations when the caller can guess.
+  explicit VecPacker(std::vector<char>& out, std::size_t reserve_hint = 0)
+      : Er(Mode::kPacking), out_(out) {
+    if (reserve_hint) out_.reserve(out_.size() + reserve_hint);
+  }
+
+  void bytes(void* data, std::size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+ private:
+  std::vector<char>& out_;
+};
+
+/// MemPacker that folds a streaming CRC-32C over every byte it writes, in
+/// the same pass as the copy. This is the "incremental CRC per iovec"
+/// primitive: the checkpoint gather path drives one CrcMemPacker over the
+/// manifest and gets the frame payload and its checksum from a single walk
+/// over the source memory.
+class CrcMemPacker final : public Er {
+ public:
+  /// Folds into `acc` when given (letting one CRC span several packers in a
+  /// larger stream, e.g. a checkpoint frame), else into an internal one.
+  CrcMemPacker(void* buf, std::size_t capacity, Crc32* acc = nullptr)
+      : Er(Mode::kPacking), cur_(static_cast<char*>(buf)),
+        end_(cur_ + capacity), crc_(acc != nullptr ? acc : &own_) {}
+
+  void bytes(void* data, std::size_t n) override {
+    MFC_CHECK_MSG(cur_ + n <= end_, "pup pack overflow");
+    std::memcpy(cur_, data, n);
+    crc_->update(cur_, n);
+    cur_ += n;
+  }
+
+  std::size_t written(const void* buf) const {
+    return static_cast<std::size_t>(cur_ - static_cast<const char*>(buf));
+  }
+  std::uint32_t crc() const { return crc_->value(); }
+
+ private:
+  char* cur_;
+  char* end_;
+  Crc32 own_;
+  Crc32* crc_;
 };
 
 // ---- pup() overload set ----------------------------------------------------
@@ -237,6 +292,18 @@ template <typename T>
 std::vector<char> to_bytes(const T& value) {
   std::vector<char> buf(packed_size(value));
   MemPacker packer(buf.data(), buf.size());
+  pup(packer, const_cast<T&>(value));
+  return buf;
+}
+
+/// Single-traversal variant of to_bytes(): no sizing pass, bytes appended
+/// as the traversal runs. Identical output; preferable for large or deeply
+/// nested objects where walking the structure twice doubles the cost.
+template <typename T>
+std::vector<char> to_bytes_onepass(const T& value,
+                                   std::size_t reserve_hint = 0) {
+  std::vector<char> buf;
+  VecPacker packer(buf, reserve_hint);
   pup(packer, const_cast<T&>(value));
   return buf;
 }

@@ -59,6 +59,10 @@ const char* to_string(Counter c) {
     case Counter::kFtKills: return "ft-kills";
     case Counter::kFtDetections: return "ft-detections";
     case Counter::kFtRecoveries: return "ft-recoveries";
+    case Counter::kFtShipBytes: return "ft-ship-bytes";
+    case Counter::kFtDeltaRanges: return "ft-delta-ranges";
+    case Counter::kFtAsyncChunks: return "ft-async-chunks";
+    case Counter::kFtDirtyPages: return "ft-dirty-pages";
     case Counter::kCount: break;
   }
   return "?";

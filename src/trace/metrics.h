@@ -48,6 +48,10 @@ enum class Counter : int {
   kFtKills,
   kFtDetections,
   kFtRecoveries,
+  kFtShipBytes,    ///< checkpoint payload bytes shipped to buddies (post-delta)
+  kFtDeltaRanges,  ///< coalesced dirty ranges shipped in incremental stores
+  kFtAsyncChunks,  ///< bounded stream chunks sent by async checkpointing
+  kFtDirtyPages,   ///< pages caught by the write barrier between epochs
   kCount,
 };
 constexpr int kCounterCount = static_cast<int>(Counter::kCount);

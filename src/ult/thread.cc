@@ -29,6 +29,12 @@ Thread::Thread(Fn fn)
   trace::emit(trace::Ev::kUltCreate, id_);
 }
 
+Thread::~Thread() {
+  // Park the fiber handle for a possible rebuild of this thread from a
+  // packed image (tsan builds only; see arch::stash_context_fiber).
+  arch::stash_context_fiber(ctx_, id_);
+}
+
 void Thread::init_context(void* stack, std::size_t bytes) {
   ctx_ = arch::make_context(stack, bytes, &Thread::trampoline, this);
 }

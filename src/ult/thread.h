@@ -32,7 +32,7 @@ class Thread {
  public:
   using Fn = std::function<void()>;
 
-  virtual ~Thread() = default;
+  virtual ~Thread();
   Thread(const Thread&) = delete;
   Thread& operator=(const Thread&) = delete;
 
@@ -91,6 +91,9 @@ class Thread {
     id_ = id;
     accumulated_load_ = load;
     state_ = State::kSuspended;
+    // Reattach the tsan fiber the packed stack was running on (no-op
+    // outside sanitized builds; see arch::adopt_context_fiber).
+    arch::adopt_context_fiber(ctx_, id_);
   }
 
  private:

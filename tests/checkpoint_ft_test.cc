@@ -138,6 +138,76 @@ TEST_F(CheckpointFtFixture, DecodeRejectsForeignBytes) {
   EXPECT_EQ(Checkpoint::decode(noise.data(), 3, &out), CodecError::kTruncated);
 }
 
+TEST_F(CheckpointFtFixture, GatherEncodeMatchesLegacyEncodeExactly) {
+  // The zero-copy encoder must be frame-compatible with Checkpoint: same
+  // threads + same user data ⇒ the same bytes, whether the sources are
+  // borrowed manifests or pre-serialized image blobs. This is what lets
+  // the ft capture path swap encoders per mode without versioning the
+  // wire format.
+  Scheduler sched;
+  int r1 = 0, r2 = 0;
+  auto* a = new IsoThread(
+      [&sched, &r1] {
+        sched.suspend();
+        r1 = 11;
+      },
+      /*birth_pe=*/0);
+  auto* b = new IsoThread(
+      [&sched, &r2] {
+        sched.suspend();
+        r2 = 22;
+      },
+      /*birth_pe=*/1);
+  sched.ready(a);
+  sched.ready(b);
+  sched.run_until_idle();
+  ASSERT_EQ(a->state(), State::kSuspended);
+  ASSERT_EQ(b->state(), State::kSuspended);
+  const std::vector<char> user = patterned_user_data(333);
+
+  // Zero-copy: borrow manifests straight off the parked threads.
+  const mfc::migrate::ImageManifest ma = a->pack_manifest();
+  const mfc::migrate::ImageManifest mb = b->pack_manifest();
+  mfc::migrate::GatherCheckpoint gather;
+  gather.set_user_data(user);
+  gather.add_manifest(ma);
+  gather.add_manifest(mb);
+  const std::vector<char> gather_frame = gather.encode();
+
+  // Mixed sources: manifest for a, pre-serialized bytes for b (the shape
+  // the dirty-run cache produces).
+  const std::vector<char> b_bytes = mb.to_wire();
+  mfc::migrate::GatherCheckpoint mixed;
+  mixed.set_user_data(user);
+  mixed.add_manifest(ma);
+  mixed.add_image_bytes(b_bytes.data(), b_bytes.size());
+  const std::vector<char> mixed_frame = mixed.encode();
+  EXPECT_EQ(mixed_frame, gather_frame);
+
+  // Legacy destructive capture of the very same suspend points.
+  Checkpoint legacy;
+  legacy.set_user_data(user);
+  legacy.add(a);
+  legacy.add(b);
+  delete a;
+  delete b;
+  const std::vector<char> legacy_frame = legacy.encode();
+  ASSERT_EQ(gather_frame.size(), legacy_frame.size());
+  EXPECT_EQ(gather_frame, legacy_frame);
+
+  // And the gather frame is a real checkpoint: decode, restore, resume.
+  Checkpoint back;
+  ASSERT_EQ(Checkpoint::decode(gather_frame, &back), CodecError::kOk);
+  EXPECT_EQ(back.user_data(), user);
+  std::vector<MigratableThread*> threads = back.restore_all(0);
+  ASSERT_EQ(threads.size(), 2u);
+  for (auto* t : threads) sched.ready(t);
+  sched.run_until_idle();
+  EXPECT_EQ(r1, 11);
+  EXPECT_EQ(r2, 22);
+  for (auto* t : threads) delete t;
+}
+
 #ifndef MFC_TSAN
 
 TEST_F(CheckpointFtFixture, RestoreUnderDifferentGeometryDies) {

@@ -4,15 +4,20 @@
 // packed, serialized, and resumed in between.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <memory>
 #include <vector>
 
+#include "iso/heap.h"
 #include "migrate/iso_thread.h"
+#include "migrate/manifest.h"
 #include "migrate/memalias_thread.h"
 #include "migrate/migratable.h"
 #include "migrate/stackcopy_thread.h"
 #include "pup/pup.h"
 #include "ult/scheduler.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 
 namespace {
@@ -182,5 +187,109 @@ TEST_P(InterleaveFuzz, MixedTechniquesKeepPrivateState) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InterleaveFuzz, ::testing::Range(1, 9));
+
+// ---- Scatter-gather manifest equivalence (labeled migrate-perf) ----
+//
+// The zero-copy pack path must be a pure representation change: gathering a
+// thread's ImageManifest onto the wire has to produce byte-for-byte the
+// stream pup::to_bytes(pack()) produces, for every technique, including
+// payloads full of NaN/inf bit patterns and images with zero heap runs.
+
+class ManifestEquiv : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    mfc::iso::Region::Config cfg;
+    cfg.npes = 2;
+    cfg.slot_bytes = 64 * 1024;
+    cfg.slots_per_pe = 1024;
+    mfc::iso::Region::init(cfg);
+  }
+  void TearDown() override { mfc::iso::Region::shutdown(); }
+};
+
+/// Parks with IEEE specials and a patterned array live in the frame, then
+/// verifies all of it (including the NaN payload bits) after resumption.
+struct SpecialsWorkload {
+  Scheduler* sched;
+  bool with_heap = false;
+  bool finished = false;
+  bool verified = false;
+
+  void run() {
+    double specials[4] = {std::nan("0x7ff"), HUGE_VAL, -HUGE_VAL, -0.0};
+    long pattern[32];
+    for (int i = 0; i < 32; ++i) pattern[i] = 0x5EED0000L + i;
+    char* heap_data = nullptr;
+    if (with_heap) {
+      heap_data = static_cast<char*>(mfc::iso::routed_malloc(3000));
+      std::memset(heap_data, 0xA5, 3000);
+    }
+    sched->suspend();  // ---- packed and compared here ----
+    bool ok = std::isnan(specials[0]) && std::isinf(specials[1]) &&
+              specials[1] > 0 && std::isinf(specials[2]) && specials[2] < 0 &&
+              std::signbit(specials[3]);
+    for (int i = 0; i < 32; ++i) ok = ok && pattern[i] == 0x5EED0000L + i;
+    if (heap_data != nullptr) {
+      for (int i = 0; i < 3000; ++i) {
+        ok = ok && heap_data[i] == static_cast<char>(0xA5);
+      }
+      mfc::iso::routed_free(heap_data);
+    }
+    verified = ok;
+    finished = true;
+  }
+};
+
+TEST_P(ManifestEquiv, IovecWireMatchesBlobWireExactly) {
+  const int technique = GetParam() % 3;
+  const bool with_heap = GetParam() >= 3;  // iso-only heap-run variant
+  Scheduler sched;
+  SpecialsWorkload w;
+  w.sched = &sched;
+  w.with_heap = with_heap;
+  MigratableThread* t =
+      make_thread(technique, [&w] { w.run(); }, 64 * 1024);
+  sched.ready(t);
+  sched.run_until_idle();
+  ASSERT_EQ(t->state(), State::kSuspended);
+
+  // Gather the iovec view first (non-destructive: the thread stays parked).
+  mfc::migrate::ImageManifest m = t->pack_manifest();
+  if (technique != 0) {
+    // Stack-copy / memory-alias images carry no heap slots at all: the
+    // zero-length-region case of the manifest codec.
+    EXPECT_TRUE(m.heap_slots.empty()) << "expected a zero-heap-run image";
+  }
+  if (with_heap) ASSERT_FALSE(m.heap_slots.empty());
+  std::uint32_t gather_crc = 0;
+  const std::vector<char> iovec_wire = m.to_wire(&gather_crc);
+  EXPECT_EQ(iovec_wire.size(), m.wire_size());
+
+  // Legacy blob path on the very same suspend point.
+  mfc::migrate::ThreadImage image = t->pack();
+  const std::vector<char> blob_wire = mfc::pup::to_bytes(image);
+
+  ASSERT_EQ(iovec_wire.size(), blob_wire.size());
+  EXPECT_TRUE(std::memcmp(iovec_wire.data(), blob_wire.data(),
+                          blob_wire.size()) == 0)
+      << "technique " << technique << " manifest gather diverged from blob";
+  EXPECT_EQ(gather_crc, mfc::crc32(blob_wire.data(), blob_wire.size()));
+
+  // The iovec bytes are the shipping format: arrive, unpack, resume.
+  delete t;
+  mfc::migrate::ThreadImage arrived;
+  mfc::pup::from_bytes(iovec_wire, arrived);
+  t = MigratableThread::unpack(std::move(arrived), /*dest_pe=*/1);
+  sched.ready(t);
+  sched.run_until_idle();
+  EXPECT_EQ(t->state(), State::kDone);
+  EXPECT_TRUE(w.finished);
+  EXPECT_TRUE(w.verified) << "NaN/inf or pattern payload corrupted";
+  delete t;
+}
+
+// Params 0..2 = technique with no heap use (iso case has zero heap runs);
+// param 3 = isomalloc with a live heap slot (heap runs on the wire).
+INSTANTIATE_TEST_SUITE_P(Techniques, ManifestEquiv, ::testing::Range(0, 4));
 
 }  // namespace
