@@ -26,6 +26,7 @@
 #include "pup/pup.h"
 #include "sdag/retswitch.h"
 #include "sdag/sdag.h"
+#include "trace/metrics.h"
 #include "trace/trace.h"
 #include "ult/scheduler.h"
 #include "util/crc32.h"
@@ -881,13 +882,207 @@ void run_migrate_suite() {
 
 }  // namespace migrate_bench
 
+// ---- cross-process wire transports (converse/transport) ----
+// Prices the machine layer's wire paths in loopback mode (nprocs == 1,
+// every cross-PE message through the codec — same process so the numbers
+// isolate the transport, not fork/scheduling noise):
+//
+//   stream64     64-byte message flood PE0 -> PE1, one row per backend.
+//                The acceptance bar (gated by scripts/ci_transport.sh via
+//                bench_compare.py --max-ratio) is shm <= 3x the in-process
+//                ns/msg: the ring adds a copy into the segment, a copy out,
+//                and a wake — but no syscall per message.
+//   image_*      scatter-gather thread-image-shaped sends (send_spans over
+//                an uneven span list) at 64 KiB / 256 KiB / 1 MiB over the
+//                socket wire, eager (gather + write) vs rendezvous
+//                (RTS/CTS, spans straight to writev — zero intermediate
+//                copies; the suite verifies every big send actually took
+//                the rendezvous path via the kWireRendezvous counter).
+//
+// Rows land in BENCH_transport.json.
+
+namespace transport_bench {
+
+namespace cv = mfc::converse;
+
+cv::HandlerId h_stream, h_stream_done, h_image, h_image_ack;
+mfc::ult::Thread* g_sender = nullptr;
+int g_expect = 0;
+double g_t0 = 0.0, g_t1 = 0.0;
+
+struct Cell64 {
+  char bytes[64] = {};  // exactly 64 payload bytes on the wire
+  void pup(mfc::pup::Er& p) { p.bytes(bytes, sizeof bytes); }
+};
+
+void ensure_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // Flood sink: counts deliveries, acks the sender once at the end.
+    h_stream = cv::register_handler([](cv::Message&&) {
+      if (--g_expect == 0) cv::send_value(0, h_stream_done, 0);
+    });
+    h_stream_done = cv::register_handler(
+        [](cv::Message&&) { cv::ready_thread(g_sender); });
+    // Image sink: one ack per image so the sender paces itself (a real
+    // migration ships one thread per dock, not a pipeline of images).
+    h_image = cv::register_handler(
+        [](cv::Message&&) { cv::send_value(0, h_image_ack, 0); });
+    h_image_ack = cv::register_handler(
+        [](cv::Message&&) { cv::ready_thread(g_sender); });
+  });
+}
+
+cv::Machine::Config wire_config(cv::Machine::Config::Transport t,
+                                std::size_t rendezvous_bytes,
+                                int nprocs = 1) {
+  cv::Machine::Config cfg;
+  cfg.npes = 2;
+  cfg.nprocs = nprocs;
+  cfg.transport = t;
+  cfg.rendezvous_bytes = rendezvous_bytes;
+  cfg.iso_slots_per_pe = 0;
+  cfg.pool_cap = 1 << 16;
+  return cfg;
+}
+
+const char* backend_mode(cv::Machine::Config::Transport t) {
+  switch (t) {
+    case cv::Machine::Config::Transport::kInProc: return "inproc";
+    case cv::Machine::Config::Transport::kShm: return "shm";
+    case cv::Machine::Config::Transport::kSocket: return "socket";
+  }
+  return "?";
+}
+
+mfc::bench::MsgBenchRow run_stream64(cv::Machine::Config::Transport t,
+                                     int msgs) {
+  ensure_handlers();
+  cv::Machine::run(wire_config(t, 256 * 1024), [&](int pe) {
+    // Sink state must exist before the first flood message can dispatch,
+    // i.e. before this PE enters the barrier, not after it returns.
+    if (pe == 0) {
+      g_sender = cv::pe_scheduler().running();
+    } else {
+      g_expect = msgs;
+    }
+    cv::barrier();
+    if (pe == 0) {
+      g_t0 = mfc::wall_time();
+      const Cell64 cell;
+      for (int i = 0; i < msgs; ++i) cv::send_value(1, h_stream, cell);
+      cv::pe_scheduler().suspend();
+      g_t1 = mfc::wall_time();
+    }
+    cv::barrier();
+  });
+  return {"stream64", backend_mode(t), 2, static_cast<std::uint64_t>(msgs),
+          g_t1 - g_t0};
+}
+
+mfc::bench::MsgBenchRow run_image_ships(const char* name, bool rendezvous,
+                                        std::size_t image_bytes, int reps) {
+  ensure_handlers();
+  // Threshold below/above the payload steers every send eager or
+  // rendezvous; the conformance suite covers correctness, this prices it.
+  // Rendezvous only engages across address spaces (a same-process
+  // destination always lands eagerly), so the image rows run a true
+  // two-process machine: PE 0 in the parent ships to PE 1 in the child.
+  const std::size_t threshold = rendezvous ? 32 * 1024 : 64 * 1024 * 1024;
+  std::uint64_t rdzv = 0;
+  cv::Machine::run(
+      wire_config(cv::Machine::Config::Transport::kSocket, threshold, 2),
+      [&](int pe) {
+        cv::barrier();
+        if (pe == 0) {
+          g_sender = cv::pe_scheduler().running();
+          // Manifest-shaped span list: one metadata sliver + uneven runs.
+          std::vector<char> buf(image_bytes, 'x');
+          std::vector<cv::SendSpan> spans;
+          spans.push_back({buf.data(), 48});
+          std::size_t off = 48, step = 4096 + 1023;
+          while (off < buf.size()) {
+            const std::size_t n = std::min(step, buf.size() - off);
+            spans.push_back({buf.data() + off, n});
+            off += n;
+            step = step * 2 + 7;
+          }
+          g_t0 = mfc::wall_time();
+          for (int i = 0; i < reps; ++i) {
+            cv::send_spans(1, h_image, spans.data(), spans.size());
+            cv::pe_scheduler().suspend();  // until acked
+          }
+          g_t1 = mfc::wall_time();
+        }
+        cv::barrier();
+      });
+  rdzv = mfc::metrics::total(mfc::metrics::Counter::kWireRendezvous);
+  if (rendezvous && rdzv != static_cast<std::uint64_t>(reps)) {
+    std::fprintf(stderr,
+                 "warning: %s expected %d rendezvous transfers, saw %llu\n",
+                 name, reps, static_cast<unsigned long long>(rdzv));
+  }
+  if (rendezvous && image_bytes >= 1024 * 1024) {
+    std::printf("# rendezvous 1 MiB: %llu/%d transfers span-direct to "
+                "writev (zero intermediate copies): %s\n",
+                static_cast<unsigned long long>(rdzv), reps,
+                rdzv == static_cast<std::uint64_t>(reps) ? "OK" : "FAIL");
+  }
+  mfc::bench::MsgBenchRow row{name, rendezvous ? "socket_rdzv" : "socket_eager",
+                              2, static_cast<std::uint64_t>(reps),
+                              g_t1 - g_t0};
+  return row;
+}
+
+void run_transport_suite() {
+  constexpr int kReps = 3;
+  constexpr int kStreamMsgs = 20000;
+  constexpr int kImageReps = 40;
+
+  std::printf("# machine-layer wire transports, loopback mode (npes=2, "
+              "median of %d)\n", kReps);
+  std::vector<mfc::bench::MsgBenchRow> rows;
+  for (const auto t : {cv::Machine::Config::Transport::kInProc,
+                       cv::Machine::Config::Transport::kShm,
+                       cv::Machine::Config::Transport::kSocket}) {
+    rows.push_back(conv_bench::median_of(
+        kReps, [&] { return run_stream64(t, kStreamMsgs); }));
+    conv_bench::print_row(rows.back());
+  }
+  std::printf("# shm/inproc ns-per-msg ratio: %.2fx (acceptance bar: <= 3x, "
+              "gated by ci_transport.sh)\n",
+              rows[1].ns_per_msg() / rows[0].ns_per_msg());
+
+  struct { const char* name; std::size_t bytes; } sizes[] = {
+      {"image_64k", 64 * 1024},
+      {"image_256k", 256 * 1024},
+      {"image_1m", 1024 * 1024},
+  };
+  for (const auto& s : sizes) {
+    for (const bool rdzv : {false, true}) {
+      rows.push_back(conv_bench::median_of(kReps, [&] {
+        return run_image_ships(s.name, rdzv, s.bytes, kImageReps);
+      }));
+      conv_bench::print_row(rows.back());
+    }
+  }
+
+  if (!mfc::bench::write_msg_bench_json("BENCH_transport.json",
+                                        "wire_transports", rows)) {
+    std::fprintf(stderr, "warning: could not write BENCH_transport.json\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace transport_bench
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  // MFC_BENCH_SUITE=converse|trace|ft|migrate runs one suite in isolation
-  // (scripts/ci_migrate.sh uses this); unset runs everything.
+  // MFC_BENCH_SUITE=converse|trace|ft|migrate|transport runs one suite in
+  // isolation (the scripts/ci_*.sh jobs use this); unset runs everything.
   const char* suite = std::getenv("MFC_BENCH_SUITE");
   const auto want = [suite](const char* name) {
     return suite == nullptr || std::strcmp(suite, name) == 0;
@@ -896,6 +1091,7 @@ int main(int argc, char** argv) {
   if (want("trace")) conv_bench::run_trace_suite();
   if (want("ft")) ft_bench::run_ft_suite();
   if (want("migrate")) migrate_bench::run_migrate_suite();
+  if (want("transport")) transport_bench::run_transport_suite();
   if (suite == nullptr) benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -16,6 +16,16 @@ file error. Typical CI wiring (scripts/ci_migrate.sh):
 Rows present in only one file are reported but never fail the run: suites
 grow new rows across PRs, and a renamed row should not mask a genuine
 regression elsewhere.
+
+A second gate style compares two rows WITHIN the candidate file:
+
+    bench_compare.py BENCH_transport.json fresh.json \
+        --metric ns_per_msg --filter stream64 \
+        --max-ratio stream64:shm/stream64:inproc=3.0
+
+fails when candidate[stream64,shm].ns_per_msg exceeds 3x
+candidate[stream64,inproc].ns_per_msg — the transport suite's acceptance
+bar (shm ring <= 3x the in-process per-message cost at 64 bytes).
 """
 
 import argparse
@@ -53,6 +63,9 @@ def main():
                     help="allowed regression, percent (default: 10)")
     ap.add_argument("--filter", default="",
                     help="only compare rows whose name contains this")
+    ap.add_argument("--max-ratio", default="", metavar="A:MODE/B:MODE=X",
+                    help="fail unless candidate row A's metric is <= X times "
+                    "row B's (both rows read from the candidate file)")
     args = ap.parse_args()
 
     base = load_rows(args.baseline)
@@ -89,6 +102,30 @@ def main():
               f"(metric={args.metric}, filter={args.filter!r})",
               file=sys.stderr)
         sys.exit(2)
+
+    if args.max_ratio:
+        try:
+            rows_part, limit = args.max_ratio.rsplit("=", 1)
+            a_part, b_part = rows_part.split("/")
+            a_key = tuple(a_part.split(":", 1))
+            b_key = tuple(b_part.split(":", 1))
+            limit = float(limit)
+        except ValueError:
+            print(f"error: bad --max-ratio {args.max_ratio!r} "
+                  "(want A:MODE/B:MODE=X)", file=sys.stderr)
+            sys.exit(2)
+        a = cand.get(a_key, {}).get(args.metric)
+        b = cand.get(b_key, {}).get(args.metric)
+        if a is None or b is None or b <= 0:
+            print(f"error: --max-ratio rows {a_key}/{b_key} missing "
+                  f"metric {args.metric} in candidate", file=sys.stderr)
+            sys.exit(2)
+        ratio = a / b
+        print(f"ratio {a_key[0]}:{a_key[1]} / {b_key[0]}:{b_key[1]} "
+              f"on {args.metric}: {ratio:.2f}x (limit {limit:.2f}x)")
+        if ratio > limit:
+            print(f"\nFAIL: ratio {ratio:.2f}x exceeds limit {limit:.2f}x")
+            sys.exit(1)
     if regressions:
         print(f"\nFAIL: {len(regressions)} row(s) regressed more than "
               f"{args.tolerance:.0f}% on {args.metric}")

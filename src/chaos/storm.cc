@@ -448,19 +448,23 @@ void handle_dock(converse::Message&& m) {
                 "storm: dock for a worker that is not suspended here");
 
   untrack_worker(converse::my_pe(), t);
-  migrate::ThreadImage image = t->pack();
-  delete t;  // pack() consumed it; only the image represents the worker now
-
-  ShipMsg ship;
-  ship.wid = d.wid;
-  ship.round = d.round;
-  ship.wire = pup::to_bytes(image);
-  ship.digest = fnv1a(ship.wire.data(), ship.wire.size());
-  g->wire_bytes.fetch_add(ship.wire.size(), std::memory_order_relaxed);
+  const int dest = g->itinerary[static_cast<std::size_t>(d.wid)]
+                               [static_cast<std::size_t>(d.round)];
 
   if (g->transport != nullptr) {
-    // Cross a real process boundary (and survive injected relay deaths,
-    // keyed by (worker, round) so the kill pattern replays).
+    // Relay round-trip needs the image as one contiguous buffer anyway, so
+    // this path keeps the gathering pack (and can survive injected relay
+    // deaths, keyed by (worker, round) so the kill pattern replays).
+    migrate::ThreadImage image = t->pack();
+    delete t;  // pack() consumed it; only the image represents the worker now
+
+    ShipMsg ship;
+    ship.wid = d.wid;
+    ship.round = d.round;
+    ship.wire = pup::to_bytes(image);
+    ship.digest = fnv1a(ship.wire.data(), ship.wire.size());
+    g->wire_bytes.fetch_add(ship.wire.size(), std::memory_order_relaxed);
+
     const std::uint64_t key =
         mix2(g->opt.seed ^ kShipSalt,
              static_cast<std::uint64_t>(d.wid) * 1000003ULL +
@@ -473,12 +477,53 @@ void handle_dock(converse::Message&& m) {
     } else {
       ship.wire = std::move(echoed);
     }
+    g->thread_migrations.fetch_add(1, std::memory_order_relaxed);
+    converse::send_value(dest, h_ship, ship);
+    return;
   }
 
+  // Scatter-gather ship: serialize the manifest's span list straight into
+  // the wire (in-process: one gather into the delivery envelope; shm/socket:
+  // ring frames / writev) — no intermediate contiguous image is ever built.
+  // The byte stream is identical to the ShipMsg encoding above, so
+  // handle_ship cannot tell the paths apart. The destructive pack epilogue
+  // runs in on_consumed, which the send contract orders strictly before the
+  // message can be delivered — even a same-process unpack at the same
+  // isomalloc addresses cannot race the evacuation.
+  migrate::ImageManifest man = t->pack_manifest(/*count=*/true);
+  std::vector<char> scratch;
+  const std::vector<migrate::IoRun> img_spans = man.wire_spans(&scratch);
+  std::uint64_t digest = kFnvOffset;
+  std::size_t wire_len = 0;
+  for (const migrate::IoRun& r : img_spans) {
+    digest = fnv1a(r.data, r.len, digest);
+    wire_len += r.len;
+  }
+  g->wire_bytes.fetch_add(wire_len, std::memory_order_relaxed);
+
+  // ShipMsg prefix {wid, round, digest, wire length}, encoded with the same
+  // pup operators ShipMsg::pup uses.
+  std::int32_t wid = d.wid;
+  std::int32_t round = d.round;
+  pup::Sizer sz;
+  sz | wid | round | digest;
+  std::vector<char> prefix(sz.size() + sizeof(std::size_t));
+  pup::MemPacker p(prefix.data(), prefix.size());
+  p | wid | round | digest;
+  std::size_t len_word = wire_len;
+  p.bytes(&len_word, sizeof len_word);
+  MFC_CHECK(p.written(prefix.data()) == prefix.size());
+
+  std::vector<converse::SendSpan> spans;
+  spans.reserve(img_spans.size() + 1);
+  spans.push_back({prefix.data(), prefix.size()});
+  for (const migrate::IoRun& r : img_spans) spans.push_back({r.data, r.len});
+
   g->thread_migrations.fetch_add(1, std::memory_order_relaxed);
-  converse::send_value(g->itinerary[static_cast<std::size_t>(d.wid)]
-                                   [static_cast<std::size_t>(d.round)],
-                       h_ship, ship);
+  converse::send_spans(dest, h_ship, spans.data(), spans.size(), [t] {
+    t->complete_pack();
+    delete t;
+  });
 }
 
 void handle_ship(converse::Message&& m) {
@@ -1121,6 +1166,9 @@ StormReport run_storm(const StormOptions& options) {
   mc.iso_slot_bytes = opt.iso_slot_bytes;
   mc.iso_slots_per_pe = opt.iso_slots_per_pe;
   mc.chaos = opt.chaos;
+  mc.transport = opt.transport == 1   ? converse::Machine::Config::Transport::kShm
+                 : opt.transport == 2 ? converse::Machine::Config::Transport::kSocket
+                                      : converse::Machine::Config::Transport::kInProc;
   converse::Machine::run(mc, storm_entry);
 
   StormReport rep = g->report;

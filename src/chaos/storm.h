@@ -52,6 +52,12 @@ struct StormOptions {
   /// Round-trip every packed thread image through the forked relay
   /// (Point::kTransportKill becomes live).
   bool use_proc_transport = false;
+  /// Machine wire transport for the storm (loopback mode, nprocs == 1):
+  /// 0 = in-process queues, 1 = shm rings, 2 = sockets. With 1/2 every
+  /// cross-PE message — including the scatter-gather thread-image ships —
+  /// runs the full wire codec path. Seed-derived digests are transport-
+  /// independent, so same-seed runs must agree across all three.
+  int transport = 0;
   /// Record a trace of the storm and export Chrome trace-event JSON at the
   /// end (MFC_TRACE=1 in the environment has the same effect). The trace is
   /// labelled with the chaos seed / technique mix / round count, so two

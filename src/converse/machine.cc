@@ -1,13 +1,19 @@
 #include "converse/machine.h"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "converse/transport.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/check.h"
@@ -124,6 +130,22 @@ struct MachineState {
   std::atomic<int> mains_finished{0};
   std::atomic<bool> stop{false};
   std::atomic<bool> qd_round_active{false};
+  // ---- Multi-process topology (defaults describe a 1-process machine) ----
+  // Process my_proc hosts PEs [local_first, local_first + ppn); only those
+  // entries of `pes` are populated. `transport` is the wire (owned by
+  // Machine::run); non-null also in loopback mode (nprocs == 1 with a wire
+  // transport selected), where every cross-PE send goes over it.
+  int nprocs = 1;
+  int my_proc = 0;
+  int ppn = 0;
+  int local_first = 0;
+  int local_npes = 0;
+  transport::Transport* transport = nullptr;
+  std::atomic<int> procs_done{0};
+  // Mattern double-wave memory for multi-process quiescence (PE 0 only):
+  // the previous round's accumulated send/deliver counts. ~0 = no round.
+  std::uint64_t qd_prev_sent = ~0ull;
+  std::uint64_t qd_prev_delivered = ~0ull;
   // Per-PE FT flags (allocated only when ft_on). `dead`: the PE's loop
   // stops dispatching and spin-sleeps; messages queue up for the revival
   // drain. `wipe_pending`: revive_pe was called — run the on_revive hook
@@ -151,13 +173,24 @@ HandlerId h_barrier_release = 0;
 HandlerId h_qd_start = 0;
 HandlerId h_qd_token = 0;
 HandlerId h_qd_release = 0;
+HandlerId h_iso_release = 0;
 
 struct QdToken {
   std::uint64_t app_sent_at_start = 0;
+  /// Multi-process: per-process app counts accumulated as the token passes
+  /// each process's first PE (counts are process-local metrics, so the
+  /// token has to collect them in place of PE 0 reading globals).
+  std::uint64_t acc_sent = 0;
+  std::uint64_t acc_delivered = 0;
   std::int32_t hops = 0;
   std::uint8_t all_idle = 1;
-  void pup(pup::Er& p) { p | app_sent_at_start | hops | all_idle; }
+  void pup(pup::Er& p) {
+    p | app_sent_at_start | acc_sent | acc_delivered | hops | all_idle;
+  }
 };
+
+/// True when `pe` lives in this process (always true on 1-process machines).
+bool pe_local(int pe) { return pe / g_machine->ppn == g_machine->my_proc; }
 
 // Registry reads: per-PE slots plus the shared slot (sends from non-PE
 // threads land there, which is what keeps the PE slots single-writer).
@@ -280,6 +313,23 @@ bool release_due_delayed(Pe* pe) {
   return any;
 }
 
+/// Local delivery tail shared by send_message and send_spans: the self-send
+/// inline bypass (handler/scheduler context, empty consumer queue, bounded
+/// depth) or a queue push.
+void enqueue_or_inline(int dest_pe, Message* m) {
+  Pe& dest = *g_machine->pes[static_cast<std::size_t>(dest_pe)];
+  Pe* self = t_pe;
+  if (!g_machine->chaos_delay && self != nullptr && dest_pe == self->id &&
+      !self->sched.in_thread() && self->inline_depth < kMaxInlineDepth &&
+      self->queue.consumer_empty()) {
+    ++self->inline_depth;
+    dispatch(m);
+    --self->inline_depth;
+    return;
+  }
+  dest.queue.push(m);
+}
+
 void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
   t_pe = pe;
   ult::Scheduler::set_current(&pe->sched);
@@ -295,11 +345,20 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
   auto* main_thread = new ult::StandardThread(
       [pe, &entry] {
         entry(pe->id);
-        if (g_machine->mains_finished.fetch_add(1) + 1 == g_machine->npes) {
-          g_machine->stop.store(true);
-          for (auto& other : g_machine->pes) {
-            other->queue.wake();
-            other->legacy_queue.wake();
+        if (g_machine->mains_finished.fetch_add(1) + 1 ==
+            g_machine->local_npes) {
+          if (g_machine->nprocs == 1) {
+            g_machine->stop.store(true);
+            for (auto& other : g_machine->pes) {
+              other->queue.wake();
+              other->legacy_queue.wake();
+            }
+            if (g_machine->transport) g_machine->transport->stop_local();
+          } else {
+            // Multi-process: every local main is done. Tell process 0; the
+            // stop order comes back through the transport once every
+            // process has reported (see the on_proc_done hook).
+            g_machine->transport->send_proc_done(pe->id);
           }
         }
       },
@@ -437,10 +496,26 @@ void register_builtin_handlers() {
       if (token.hops == g_machine->npes) {
         // The token visited every PE and came back to PE 0: decide.
         MFC_CHECK(pe->id == 0);
-        const bool quiet = token.all_idle != 0 &&
-                           app_sent() == token.app_sent_at_start &&
-                           app_delivered() == token.app_sent_at_start;
+        bool quiet;
+        if (g_machine->nprocs > 1) {
+          // Counts are process-local, so PE 0 cannot read machine totals;
+          // the token accumulated one reading per process instead. Quiet
+          // needs balance AND two consecutive identical rounds (Mattern's
+          // double wave) — a single balanced reading can be stale.
+          quiet = token.all_idle != 0 &&
+                  token.acc_sent == token.acc_delivered &&
+                  token.acc_sent == g_machine->qd_prev_sent &&
+                  token.acc_delivered == g_machine->qd_prev_delivered;
+          g_machine->qd_prev_sent = token.acc_sent;
+          g_machine->qd_prev_delivered = token.acc_delivered;
+        } else {
+          quiet = token.all_idle != 0 &&
+                  app_sent() == token.app_sent_at_start &&
+                  app_delivered() == token.app_sent_at_start;
+        }
         if (quiet) {
+          g_machine->qd_prev_sent = ~0ull;
+          g_machine->qd_prev_delivered = ~0ull;
           g_machine->qd_round_active.store(false);
           for (int p = 0; p < g_machine->npes; ++p) {
             qd_send(p, h_qd_release, {});
@@ -451,6 +526,10 @@ void register_builtin_handlers() {
         return;
       }
       if (pe->sched.ready_count() > 0) token.all_idle = 0;
+      if (g_machine->nprocs > 1 && pe->id % g_machine->ppn == 0) {
+        token.acc_sent += app_sent();
+        token.acc_delivered += app_delivered();
+      }
       token.hops += 1;
       qd_send((pe->id + 1) % g_machine->npes, h_qd_token,
               pup::to_bytes(token));
@@ -460,6 +539,13 @@ void register_builtin_handlers() {
       Pe* pe = t_pe;
       for (ult::Thread* t : pe->quiescence_waiters) pe->sched.ready(t);
       pe->quiescence_waiters.clear();
+    });
+    // Cross-process isomalloc lease: a slot freed away from its birth
+    // process ships its identity home; the birth PE clears the `used` bit
+    // (the releasing process already evacuated the pages on its side).
+    h_iso_release = register_handler([](Message&& m) {
+      auto id = m.as<iso::SlotId>();
+      iso::Region::instance().free_remote(id);
     });
   });
 }
@@ -479,7 +565,20 @@ HandlerId register_handler(HandlerFn fn) {
 void Machine::run(const Config& config, std::function<void(int)> entry) {
   MFC_CHECK_MSG(g_machine == nullptr, "Machine::run is not reentrant");
   MFC_CHECK(config.npes >= 1);
+  MFC_CHECK(config.nprocs >= 1);
+  const bool wire_on = config.transport != Config::Transport::kInProc;
+  MFC_CHECK_MSG(!wire_on || !config.mutex_baseline,
+                "wire transports require the lock-free messaging path");
+  if (config.nprocs > 1) {
+    MFC_CHECK_MSG(wire_on, "nprocs > 1 requires a wire transport");
+    MFC_CHECK_MSG(config.npes % config.nprocs == 0,
+                  "npes must divide evenly across processes");
+    MFC_CHECK_MSG(!g_ft_hooks_set,
+                  "FT hooks are single-process (use loopback wire mode)");
+  }
   register_builtin_handlers();
+
+  // ---- Shared setup, pre-fork: children inherit all of it. ----
 
   // Chaos may also be installed by the caller before run (tests do this to
   // inspect injection counters afterwards); then the machine just uses it.
@@ -487,7 +586,8 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   if (owns_chaos) chaos::install(config.chaos);
 
   // Fresh books for this run; pool_stats()/metrics::snapshot() read them
-  // after the machine returns.
+  // after the machine returns. Multi-process: each process's copy-on-write
+  // registry holds its local PEs' counts (QD accumulates them via token).
   metrics::reset(config.npes);
 
   // Env-gated tracing (MFC_TRACE=1): if no explicit session is active, the
@@ -507,12 +607,50 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
     iso::Region::init(iso_cfg);
   }
 
+  // The wire (shm segment / socketpairs) must exist before the fork so
+  // every process holds the same mappings and descriptors.
+  std::unique_ptr<transport::Transport> transport;
+  if (wire_on) {
+    transport::Options topt;
+    topt.npes = config.npes;
+    topt.nprocs = config.nprocs;
+    topt.shm_ring_bytes = config.shm_ring_bytes;
+    topt.rendezvous_bytes = config.rendezvous_bytes;
+    transport = config.transport == Config::Transport::kShm
+                    ? transport::make_shm_transport(topt)
+                    : transport::make_socket_transport(topt);
+  }
+
+  // ---- Fork: process k hosts PEs [k*ppn, (k+1)*ppn). ----
+  // No threads exist yet in this process, so the children are clean
+  // single-threaded images of the shared setup above.
+  int my_proc = 0;
+  std::vector<pid_t> kids;
+  for (int p = 1; p < config.nprocs && my_proc == 0; ++p) {
+    const pid_t pid = fork();
+    MFC_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      my_proc = p;
+      kids.clear();
+    } else {
+      kids.push_back(pid);
+    }
+  }
+
+  // ---- Per-process machine state (post-fork). ----
+  const int ppn = config.npes / config.nprocs;
   g_machine = new MachineState();
   g_machine->npes = config.npes;
   g_machine->mutex_baseline = config.mutex_baseline;
   g_machine->chaos_delay =
       chaos::enabled() && chaos::config().delivery_delay > 0.0;
   g_machine->ft_on = g_ft_hooks_set;
+  g_machine->nprocs = config.nprocs;
+  g_machine->my_proc = my_proc;
+  g_machine->ppn = ppn;
+  g_machine->local_first = my_proc * ppn;
+  g_machine->local_npes = ppn;
+  g_machine->transport = transport.get();
   if (g_machine->ft_on) {
     MFC_CHECK_MSG(!config.mutex_baseline,
                   "FT hooks require the lock-free messaging path");
@@ -522,19 +660,123 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
         std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(config.npes));
   }
   g_machine->pool_cap = config.pool_cap;
-  for (int i = 0; i < config.npes; ++i) {
+  g_machine->pes.resize(static_cast<std::size_t>(config.npes));
+  for (int i = g_machine->local_first;
+       i < g_machine->local_first + g_machine->local_npes; ++i) {
     auto pe = std::make_unique<Pe>();
     pe->id = i;
-    g_machine->pes.push_back(std::move(pe));
+    g_machine->pes[static_cast<std::size_t>(i)] = std::move(pe);
+  }
+
+  if (transport) {
+    transport::Hooks hooks;
+    hooks.alloc = [](const wire::Header& h, std::uint64_t total_len) {
+      Message* m = create_message();
+      m->handler = h.handler;
+      m->src_pe = h.src_pe;
+      m->dest_pe = h.dest_pe;
+      m->trace_flow = h.trace_flow;
+      // Adopted into the destination PE's pool on release (the comm thread
+      // allocates, the destination PE frees).
+      m->pool_pe = h.dest_pe;
+      m->payload.resize(static_cast<std::size_t>(total_len));
+      return m;
+    };
+    hooks.enqueue = [](Message* m) {
+      Pe* dest = g_machine->pes[static_cast<std::size_t>(m->dest_pe)].get();
+      MFC_CHECK_MSG(dest != nullptr, "wire delivery to a non-local PE");
+      dest->queue.push(m);
+    };
+    hooks.drop = [](Message* m) { drain_message(m); };
+    hooks.on_proc_done = [] {
+      if (g_machine->procs_done.fetch_add(1) + 1 == g_machine->nprocs) {
+        g_machine->transport->broadcast_stop();
+      }
+    };
+    hooks.on_stop = [] {
+      g_machine->stop.store(true);
+      for (auto& pe : g_machine->pes) {
+        if (pe) {
+          pe->queue.wake();
+          pe->legacy_queue.wake();
+        }
+      }
+      g_machine->transport->stop_local();
+    };
+    if (!kids.empty()) {
+      // Parent-only liveness policing: a child that dies before reporting
+      // ProcDone would hang the stop protocol — turn it into a crash.
+      auto reaped = std::make_shared<std::vector<bool>>(kids.size(), false);
+      auto kid_list = std::make_shared<std::vector<pid_t>>(kids);
+      hooks.idle = [reaped, kid_list] {
+        for (std::size_t k = 0; k < kid_list->size(); ++k) {
+          if ((*reaped)[k]) continue;
+          int status = 0;
+          const pid_t r = waitpid((*kid_list)[k], &status, WNOHANG);
+          if (r == (*kid_list)[k]) {
+            (*reaped)[k] = true;
+            MFC_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                          "machine child process died");
+          }
+        }
+      };
+    }
+    transport->start(my_proc, std::move(hooks));
+  }
+
+  // Cross-process slot leasing: release() must clear the `used` bit in the
+  // slot's birth process (the one whose strip bitmap tracks it), so
+  // non-local releases evacuate locally then forward a free order.
+  if (config.nprocs > 1) {
+    iso::Region::set_lease(
+        [](int pe) { return pe_local(pe); },
+        [](iso::SlotId id) { send_value(id.pe, h_iso_release, id); });
   }
 
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(config.npes));
-  for (int i = 0; i < config.npes; ++i) {
+  threads.reserve(static_cast<std::size_t>(g_machine->local_npes));
+  for (int i = g_machine->local_first;
+       i < g_machine->local_first + g_machine->local_npes; ++i) {
     threads.emplace_back(pe_loop, g_machine->pes[static_cast<std::size_t>(i)].get(),
                          std::cref(entry));
   }
   for (auto& t : threads) t.join();
+
+  if (transport) {
+    transport->stop_local();
+    transport->join();
+  }
+  if (config.nprocs > 1) iso::Region::clear_lease();
+
+  if (my_proc != 0) {
+    // Child teardown mirrors the parent's but ends in _Exit: the child must
+    // not run atexit handlers or static destructors for state the parent
+    // still owns. Books are checked per-process (the pes vector only drains
+    // local envelopes).
+    delete g_machine;
+    g_machine = nullptr;
+    if (owns_chaos) chaos::uninstall();
+    if (owns_trace) {
+      trace::stop_and_export(trace::env_file() + ".proc" +
+                             std::to_string(my_proc));
+    }
+    MFC_CHECK_MSG(metrics::total(metrics::Counter::kMsgsAllocated) ==
+                      metrics::total(metrics::Counter::kMsgsFreed),
+                  "message envelopes leaked at machine shutdown (child)");
+    transport.reset();
+    std::_Exit(0);
+  }
+
+  // Parent: collect any children the idle hook hadn't reaped yet.
+  for (const pid_t kid : kids) {
+    int status = 0;
+    const pid_t r = waitpid(kid, &status, 0);
+    if (r == kid) {
+      MFC_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                    "machine child process exited abnormally");
+    }
+  }
+  transport.reset();
 
   delete g_machine;  // ~Pe drains inboxes/stashes/pools via the counted path
   g_machine = nullptr;
@@ -561,6 +803,10 @@ int num_pes() {
 }
 
 bool in_pe_context() { return t_pe != nullptr; }
+
+int num_procs() { return g_machine != nullptr ? g_machine->nprocs : 1; }
+
+int my_proc() { return g_machine != nullptr ? g_machine->my_proc : 0; }
 
 namespace detail {
 
@@ -594,29 +840,37 @@ void send_message(int dest_pe, HandlerId handler, Message* m) {
   trace::emit(trace::Ev::kMsgSend, m->trace_flow, handler,
               static_cast<std::uint32_t>(m->payload.size()),
               static_cast<std::int16_t>(dest_pe));
-  Pe& dest = *g_machine->pes[static_cast<std::size_t>(dest_pe)];
 
   if (g_machine->mutex_baseline) {
+    Pe& dest = *g_machine->pes[static_cast<std::size_t>(dest_pe)];
     dest.legacy_queue.push(std::move(*m));
     release_message(m);
     return;
   }
 
-  // Self-send fast path: a send from handler/scheduler context (between
-  // scheduling quanta, not inside a ULT) to the calling PE delivers inline
-  // — no enqueue, no wake. Gated on an empty consumer queue so inline
-  // delivery cannot overtake messages already queued to this PE, and on a
-  // depth cap so chained self-sends cannot starve the scheduler loop.
-  Pe* self = t_pe;
-  if (!g_machine->chaos_delay && self != nullptr && dest_pe == self->id &&
-      !self->sched.in_thread() && self->inline_depth < kMaxInlineDepth &&
-      self->queue.consumer_empty()) {
-    ++self->inline_depth;
-    dispatch(m);
-    --self->inline_depth;
+  // Wire routing: loopback mode ships every cross-PE send; multi-process
+  // ships only cross-process destinations (same-process PEs keep the
+  // direct lock-free queues). The transport copies/writes the payload
+  // before returning, so the envelope is released immediately.
+  if (g_machine->transport != nullptr && m->src_pe >= 0 &&
+      dest_pe != m->src_pe &&
+      (g_machine->nprocs == 1 || !pe_local(dest_pe))) {
+    wire::Header h;
+    h.kind = static_cast<std::uint32_t>(wire::Kind::kEager);
+    h.handler = handler;
+    h.src_pe = m->src_pe;
+    h.dest_pe = dest_pe;
+    h.payload_len = m->payload.size();
+    h.total_len = h.payload_len;
+    h.trace_flow = m->trace_flow;
+    wire::Span s{m->payload.data(), m->payload.size()};
+    g_machine->transport->send(h, &s, 1, nullptr);
+    release_message(m);
     return;
   }
-  dest.queue.push(m);
+  MFC_CHECK_MSG(pe_local(dest_pe),
+                "sends from non-PE threads must target local PEs");
+  enqueue_or_inline(dest_pe, m);
 }
 
 }  // namespace detail
@@ -625,6 +879,53 @@ void send(int dest_pe, HandlerId handler, std::vector<char> payload) {
   Message* m = detail::acquire_message(0);
   m->payload.adopt(std::move(payload));
   detail::send_message(dest_pe, handler, m);
+}
+
+void send_spans(int dest_pe, HandlerId handler, const SendSpan* spans,
+                std::size_t nspans, std::function<void()> on_consumed) {
+  MFC_CHECK(g_machine != nullptr);
+  MFC_CHECK(dest_pe >= 0 && dest_pe < g_machine->npes);
+  MFC_CHECK_MSG(!g_machine->mutex_baseline,
+                "send_spans requires the lock-free messaging path");
+  chaos::preempt_point("converse.send");
+  const int src = t_pe != nullptr ? t_pe->id : -1;
+  const std::size_t total = wire::spans_total(spans, nspans);
+  metrics::bump(Counter::kMsgsSent);
+  metrics::bump(Counter::kSpanSends);
+  std::uint64_t flow = 0;
+  if (trace::enabled() && src >= 0 && src != dest_pe) {
+    flow = trace::next_flow_id();
+  }
+  trace::emit(trace::Ev::kMsgSend, flow, handler,
+              static_cast<std::uint32_t>(total),
+              static_cast<std::int16_t>(dest_pe));
+  if (g_machine->transport != nullptr && src >= 0 && dest_pe != src &&
+      (g_machine->nprocs == 1 || !pe_local(dest_pe))) {
+    wire::Header h;
+    h.kind = static_cast<std::uint32_t>(wire::Kind::kEager);
+    h.handler = handler;
+    h.src_pe = src;
+    h.dest_pe = dest_pe;
+    h.payload_len = total;
+    h.total_len = total;
+    h.trace_flow = flow;
+    g_machine->transport->send(h, spans, nspans, std::move(on_consumed));
+    return;
+  }
+  MFC_CHECK_MSG(pe_local(dest_pe),
+                "sends from non-PE threads must target local PEs");
+  // In-process: the spans gather once, directly into the pooled delivery
+  // envelope — the buffer the destination handler will read, not an
+  // intermediate wire blob. on_consumed runs before the envelope becomes
+  // reachable by the destination.
+  Message* m = detail::acquire_message(total);
+  wire::spans_gather(m->payload.data(), spans, nspans);
+  if (on_consumed) on_consumed();
+  m->handler = handler;
+  m->src_pe = src;
+  m->dest_pe = dest_pe;
+  m->trace_flow = flow;
+  enqueue_or_inline(dest_pe, m);
 }
 
 void broadcast(HandlerId handler, const std::vector<char>& payload) {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "chaos/chaos.h"
+#include "converse/wire.h"
 #include "iso/region.h"
 #include "pup/pup.h"
 #include "ult/scheduler.h"
@@ -147,7 +148,26 @@ HandlerId register_handler(HandlerFn fn);
 class Machine {
  public:
   struct Config {
+    /// Which wire carries cross-process (or, with nprocs == 1, *all*
+    /// cross-PE — "loopback" mode) messages. kInProc is the classic
+    /// single-process lock-free-queue machine.
+    enum class Transport { kInProc, kShm, kSocket };
+
     int npes = 2;
+    /// Processes the machine runs across. With nprocs > 1 a wire transport
+    /// is required; Machine::run forks nprocs-1 children after the shared
+    /// resources (chaos, trace rings, iso region, transport segments) are
+    /// created, so every address space inherits them. npes must divide
+    /// evenly; process k hosts PEs [k*ppn, (k+1)*ppn). FT hooks and
+    /// mutex_baseline are process-local features and are rejected.
+    int nprocs = 1;
+    Transport transport = Transport::kInProc;
+    /// Per-(dest-process, source-PE) SPSC ring capacity for the shm
+    /// transport (power of two; messages over half a ring are chunked).
+    std::size_t shm_ring_bytes = 64 * 1024;
+    /// Socket payloads beyond this go rendezvous (RTS/CTS/DATA with a
+    /// pre-sized landing buffer) instead of eager.
+    std::size_t rendezvous_bytes = 256 * 1024;
     /// When set, initializes the isomalloc region for `npes` strips
     /// (skipped if the region already exists or iso_slots_per_pe == 0).
     std::uint32_t iso_slots_per_pe = 2048;
@@ -182,6 +202,10 @@ int my_pe();
 int num_pes();
 bool in_pe_context();
 
+/// Multi-process topology (1/0 on a single-process machine).
+int num_procs();
+int my_proc();
+
 /// Sends an active message (payload is a PUP-able value).
 void send(int dest_pe, HandlerId handler, std::vector<char> payload);
 
@@ -202,6 +226,26 @@ void send_value(int dest_pe, HandlerId handler, const T& value) {
   pup::pup(packer, const_cast<T&>(value));
   detail::send_message(dest_pe, handler, m);
 }
+
+/// One scatter-gather piece of an outgoing message (converse/wire.h).
+using SendSpan = wire::Span;
+
+/// Scatter-gather send: ships the concatenation of `spans` as one message
+/// without requiring the caller to gather them first. On the in-process
+/// path the spans are copied once, directly into the pooled delivery
+/// envelope; on a wire transport they go to the ring copy loop or straight
+/// to writev (rendezvous) — `ImageManifest` layouts ship with no
+/// intermediate wire buffer either way.
+///
+/// `on_consumed` (optional) runs exactly once, after the span bytes have
+/// been consumed and strictly before the message can be delivered anywhere.
+/// Migration uses it for the destructive pack epilogue: the spans point
+/// into live isomalloc slots, and the epilogue evacuates them — the
+/// ordering guarantee is what keeps a same-process destination's install()
+/// from colliding with still-resident source pages. Requires the lock-free
+/// messaging path (no mutex_baseline).
+void send_spans(int dest_pe, HandlerId handler, const SendSpan* spans,
+                std::size_t nspans, std::function<void()> on_consumed = {});
 
 /// Sends to every PE (including the caller).
 void broadcast(HandlerId handler, const std::vector<char>& payload);

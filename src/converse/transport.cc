@@ -1,0 +1,661 @@
+#include "converse/transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "converse/machine.h"
+#include "converse/shmring.h"
+#include "trace/metrics.h"
+#include "util/check.h"
+
+namespace mfc::converse::transport {
+
+namespace {
+
+using metrics::Counter;
+using wire::Kind;
+
+char* payload_ptr(Message* m) { return m->payload.data(); }
+
+/// Sub-spans covering [off, off+len) of a span list (chunking).
+std::vector<wire::Span> slice_spans(const wire::Span* spans, std::size_t n,
+                                    std::uint64_t off, std::uint64_t len) {
+  std::vector<wire::Span> out;
+  std::uint64_t skip = off, want = len;
+  for (std::size_t i = 0; i < n && want > 0; ++i) {
+    std::uint64_t l = spans[i].len;
+    if (skip >= l) {
+      skip -= l;
+      continue;
+    }
+    std::uint64_t take = l - skip < want ? l - skip : want;
+    out.push_back({static_cast<const char*>(spans[i].data) + skip,
+                   static_cast<std::size_t>(take)});
+    skip = 0;
+    want -= take;
+  }
+  MFC_CHECK(want == 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory ring transport.
+// ---------------------------------------------------------------------------
+
+class ShmTransport final : public Transport {
+ public:
+  explicit ShmTransport(const Options& o)
+      : opt_(o), ppn_(o.npes / o.nprocs) {
+    MFC_CHECK(o.npes >= 1 && o.nprocs >= 1 && o.npes % o.nprocs == 0);
+    seg_.create(o.nprocs, o.npes, o.shm_ring_bytes);
+  }
+
+  ~ShmTransport() override {
+    if (comm_.joinable()) {
+      stop_local();
+      comm_.join();
+    }
+  }
+
+  void start(int my_proc, Hooks hooks) override {
+    my_proc_ = my_proc;
+    hooks_ = std::move(hooks);
+    // Persistent producer views for this process's PEs (the view carries
+    // the producer-local pending-tail shadow): views_[local_pe][dest_proc].
+    views_.resize(static_cast<std::size_t>(ppn_) * opt_.nprocs);
+    for (int lp = 0; lp < ppn_; ++lp)
+      for (int d = 0; d < opt_.nprocs; ++d)
+        views_[static_cast<std::size_t>(lp) * opt_.nprocs + d] =
+            seg_.ring(d, my_proc * ppn_ + lp);
+    assembly_.resize(static_cast<std::size_t>(opt_.npes) + 1);
+    comm_ = std::thread([this] { comm_loop(); });
+  }
+
+  void send(const wire::Header& hdr, const wire::Span* spans, std::size_t n,
+            std::function<void()> on_consumed) override {
+    wire::Header h = hdr;
+    const int dproc = h.dest_pe / ppn_;
+    shm::RingView& rv = producer_view(h.src_pe, dproc);
+    const std::uint64_t limit = max_chunk_payload();
+    metrics::bump(Counter::kWireSentBytes, h.payload_len);
+    if (h.payload_len <= limit) {
+      h.kind = static_cast<std::uint32_t>(Kind::kEager);
+      metrics::bump(Counter::kWireSentFrames);
+      // Delayed publish: the frame's bytes are in the ring but invisible
+      // until after on_consumed — the pack epilogue can evacuate the pages
+      // the spans pointed into before the message can be delivered.
+      if (!push_wait(rv, h, spans, n, /*publish=*/on_consumed == nullptr)) {
+        if (on_consumed) on_consumed();
+        return;  // dropped post-stop
+      }
+      if (on_consumed) {
+        on_consumed();
+        rv.publish();
+      }
+      return;
+    }
+    // Chunked: every piece fits half the ring; the final chunk's publish is
+    // delayed exactly like the single-frame case, so the message cannot
+    // complete at the consumer before on_consumed runs.
+    h.kind = static_cast<std::uint32_t>(Kind::kChunk);
+    h.total_len = hdr.payload_len;
+    std::uint64_t off = 0;
+    while (off < h.total_len) {
+      const std::uint64_t len =
+          h.total_len - off < limit ? h.total_len - off : limit;
+      const bool last = off + len == h.total_len;
+      std::vector<wire::Span> sub = slice_spans(spans, n, off, len);
+      h.offset = off;
+      h.payload_len = len;
+      metrics::bump(Counter::kWireSentFrames);
+      metrics::bump(Counter::kWireChunks);
+      if (!push_wait(rv, h, sub.data(), sub.size(),
+                     /*publish=*/!(last && on_consumed != nullptr))) {
+        if (on_consumed) on_consumed();
+        return;  // dropped post-stop; partial assembly freed at teardown
+      }
+      if (last && on_consumed) {
+        on_consumed();
+        rv.publish();
+      }
+      off += len;
+    }
+  }
+
+  void send_proc_done(int src_pe) override {
+    if (my_proc_ == 0) {
+      hooks_.on_proc_done();
+      return;
+    }
+    wire::Header h;
+    h.kind = static_cast<std::uint32_t>(Kind::kProcDone);
+    h.src_pe = src_pe;
+    h.dest_pe = 0;
+    shm::RingView& rv = producer_view(src_pe, /*dproc=*/0);
+    push_wait(rv, h, nullptr, 0, true);
+  }
+
+  void broadcast_stop() override {
+    // Only the one thread that saw the last ProcDone gets here, so the
+    // control slot keeps its single producer.
+    wire::Header h;
+    h.kind = static_cast<std::uint32_t>(Kind::kStop);
+    for (int d = 0; d < opt_.nprocs; ++d) {
+      if (d == my_proc_) continue;
+      shm::RingView rv = seg_.ring(d, opt_.npes);
+      while (!rv.try_push(h, nullptr, 0))
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+    hooks_.on_stop();
+  }
+
+  void stop_local() override {
+    stop_.store(true, std::memory_order_release);
+  }
+
+  void join() override {
+    MFC_CHECK(stop_.load(std::memory_order_acquire));
+    if (comm_.joinable()) comm_.join();
+  }
+
+ private:
+  /// One in-progress chunked (or about-to-be-enqueued eager) message per
+  /// SPSC ring: the producer finishes one message before starting the next,
+  /// so a slot never needs more than one.
+  struct Assembly {
+    Message* m = nullptr;
+  };
+
+  struct Sink {
+    ShmTransport* t = nullptr;
+    int slot = 0;
+    char* on_header(const wire::Header& h) {
+      switch (static_cast<Kind>(h.kind)) {
+        case Kind::kEager: {
+          Assembly& a = t->assembly_[static_cast<std::size_t>(slot)];
+          a.m = t->hooks_.alloc(h, h.payload_len);
+          return payload_ptr(a.m);
+        }
+        case Kind::kChunk: {
+          Assembly& a = t->assembly_[static_cast<std::size_t>(slot)];
+          if (h.offset == 0) a.m = t->hooks_.alloc(h, h.total_len);
+          MFC_CHECK(a.m != nullptr);
+          return payload_ptr(a.m) + h.offset;
+        }
+        default:
+          return nullptr;
+      }
+    }
+    void on_frame(const wire::Header& h, char*) {
+      Assembly& a = t->assembly_[static_cast<std::size_t>(slot)];
+      switch (static_cast<Kind>(h.kind)) {
+        case Kind::kEager:
+          metrics::bump(Counter::kWireDelivered);
+          t->hooks_.enqueue(a.m);
+          a.m = nullptr;
+          break;
+        case Kind::kChunk:
+          if (h.offset + h.payload_len == h.total_len) {
+            metrics::bump(Counter::kWireDelivered);
+            t->hooks_.enqueue(a.m);
+            a.m = nullptr;
+          }
+          break;
+        case Kind::kProcDone:
+          t->hooks_.on_proc_done();
+          break;
+        case Kind::kStop:
+          t->hooks_.on_stop();
+          break;
+        default:
+          MFC_CHECK_MSG(false, "unexpected frame kind on shm ring");
+      }
+    }
+  };
+
+  shm::RingView& producer_view(int src_pe, int dproc) {
+    const int lp = src_pe - my_proc_ * ppn_;
+    MFC_CHECK_MSG(lp >= 0 && lp < ppn_,
+                  "wire sends must originate on a local PE thread");
+    return views_[static_cast<std::size_t>(lp) * opt_.nprocs + dproc];
+  }
+
+  std::uint64_t max_chunk_payload() const {
+    return opt_.shm_ring_bytes / 2 - sizeof(wire::Header);
+  }
+
+  bool push_wait(shm::RingView& rv, const wire::Header& h,
+                 const wire::Span* s, std::size_t n, bool publish) {
+    int waits = 0;
+    while (!rv.try_push(h, s, n, publish)) {
+      // The consumer always drains, so a full ring clears; after stop the
+      // consumer may be gone — give up (the drop is benign post-stop).
+      ++waits;
+      if (stop_.load(std::memory_order_relaxed) && waits > 2500) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+    return true;
+  }
+
+  void comm_loop() {
+    const int nslots = opt_.npes + 1;
+    std::vector<Sink> sinks(static_cast<std::size_t>(nslots));
+    for (int s = 0; s < nslots; ++s)
+      sinks[static_cast<std::size_t>(s)] = {this, s};
+    std::uint64_t idle_rounds = 0;
+    for (;;) {
+      bool any = false;
+      for (int s = 0; s < nslots; ++s) {
+        shm::RingView rv = seg_.ring(my_proc_, s);
+        while (rv.try_pop(sinks[static_cast<std::size_t>(s)])) any = true;
+      }
+      if (any) {
+        idle_rounds = 0;
+        continue;
+      }
+      if (stop_.load(std::memory_order_acquire)) break;
+      ++idle_rounds;
+      if (hooks_.idle && (idle_rounds & 63) == 0) hooks_.idle();
+      // Single-CPU-friendly: sleep immediately, bounded so stop and fresh
+      // traffic are observed promptly.
+      const std::uint64_t us = idle_rounds < 10 ? 50 * idle_rounds : 500;
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+    // Writers that completed concurrently with stop: one last sweep, then
+    // free anything still half-assembled.
+    for (int s = 0; s < nslots; ++s) {
+      shm::RingView rv = seg_.ring(my_proc_, s);
+      while (rv.try_pop(sinks[static_cast<std::size_t>(s)])) {
+      }
+    }
+    for (Assembly& a : assembly_) {
+      if (a.m != nullptr) {
+        hooks_.drop(a.m);
+        a.m = nullptr;
+      }
+    }
+  }
+
+  Options opt_;
+  int ppn_ = 1;
+  int my_proc_ = 0;
+  shm::Segment seg_;
+  Hooks hooks_;
+  std::atomic<bool> stop_{false};
+  std::thread comm_;
+  std::vector<shm::RingView> views_;
+  std::vector<Assembly> assembly_;
+};
+
+// ---------------------------------------------------------------------------
+// Socket/stream transport (AF_UNIX socketpairs; AF_INET-shaped framing).
+// ---------------------------------------------------------------------------
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(const Options& o)
+      : opt_(o), ppn_(o.npes / o.nprocs) {
+    MFC_CHECK(o.npes >= 1 && o.nprocs >= 1 && o.npes % o.nprocs == 0);
+    if (o.nprocs == 1) {
+      // Loopback: one pair; sends write sv[0], the comm thread reads sv[1].
+      // Everything goes eager (the rendezvous control frames would have to
+      // loop through the single comm thread that is also the data reader).
+      int sv[2];
+      MFC_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0);
+      loop_send_ = sv[0];
+      loop_recv_ = sv[1];
+    } else {
+      ends_.assign(static_cast<std::size_t>(o.nprocs),
+                   std::vector<int>(static_cast<std::size_t>(o.nprocs), -1));
+      for (int i = 0; i < o.nprocs; ++i) {
+        for (int j = i + 1; j < o.nprocs; ++j) {
+          int sv[2];
+          MFC_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0);
+          ends_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+              sv[0];
+          ends_[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+              sv[1];
+        }
+      }
+    }
+  }
+
+  ~SocketTransport() override {
+    if (comm_.joinable()) {
+      stop_local();
+      comm_.join();
+    }
+    close_all();
+  }
+
+  void start(int my_proc, Hooks hooks) override {
+    my_proc_ = my_proc;
+    hooks_ = std::move(hooks);
+    send_fd_.assign(static_cast<std::size_t>(opt_.nprocs), -1);
+    send_mu_ = std::make_unique<std::mutex[]>(
+        static_cast<std::size_t>(opt_.nprocs));
+    if (opt_.nprocs == 1) {
+      send_fd_[0] = loop_send_;
+      recv_.push_back({loop_recv_, 0});
+    } else {
+      for (int q = 0; q < opt_.nprocs; ++q) {
+        if (q == my_proc) continue;
+        int fd = ends_[static_cast<std::size_t>(my_proc)]
+                      [static_cast<std::size_t>(q)];
+        send_fd_[static_cast<std::size_t>(q)] = fd;
+        recv_.push_back({fd, q});
+      }
+      // Close every end that belongs to another process.
+      for (int i = 0; i < opt_.nprocs; ++i) {
+        if (i == my_proc) continue;
+        for (int& fd : ends_[static_cast<std::size_t>(i)]) {
+          if (fd >= 0) ::close(fd);
+          fd = -1;
+        }
+      }
+    }
+    MFC_CHECK(::pipe(wake_pipe_) == 0);
+    ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+    comm_ = std::thread([this] { comm_loop(); });
+  }
+
+  void send(const wire::Header& hdr, const wire::Span* spans, std::size_t n,
+            std::function<void()> on_consumed) override {
+    wire::Header h = hdr;
+    const int dproc = h.dest_pe / ppn_;
+    metrics::bump(Counter::kWireSentBytes, h.payload_len);
+    const bool rendezvous =
+        opt_.nprocs > 1 && h.payload_len > opt_.rendezvous_bytes;
+    if (!rendezvous) {
+      h.kind = static_cast<std::uint32_t>(Kind::kEager);
+      metrics::bump(Counter::kWireSentFrames);
+      if (on_consumed) {
+        // Stage first so on_consumed runs before any byte can reach the
+        // destination (delivery-before-epilogue would race a same-process
+        // install against the pack epilogue's evacuate).
+        std::vector<char> staged(h.payload_len);
+        wire::spans_gather(staged.data(), spans, n);
+        on_consumed();
+        wire::Span s{staged.data(), staged.size()};
+        std::lock_guard<std::mutex> lk(send_mu_[dproc]);
+        wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
+        wire::write_frame(io, h, &s, 1);
+      } else {
+        std::lock_guard<std::mutex> lk(send_mu_[dproc]);
+        wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
+        wire::write_frame(io, h, spans, n);
+      }
+      return;
+    }
+    // Rendezvous: RTS → (receiver pre-sizes the landing payload) → CTS →
+    // the blocked sender writev's its spans straight to the socket. The
+    // image bytes touch no intermediate buffer on either side: writev
+    // reads the live slots, and the reader lands bytes directly in the
+    // destination envelope's payload.
+    metrics::bump(Counter::kWireRendezvous);
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(my_proc_) << 48) |
+        rdv_seq_.fetch_add(1, std::memory_order_relaxed);
+    PendingSend ps;
+    {
+      std::lock_guard<std::mutex> lk(rdv_mu_);
+      pending_sends_[id] = &ps;
+    }
+    wire::Header rts = h;
+    rts.kind = static_cast<std::uint32_t>(Kind::kRts);
+    rts.payload_len = 0;
+    rts.total_len = h.payload_len;
+    rts.msg_id = id;
+    {
+      std::lock_guard<std::mutex> lk(send_mu_[dproc]);
+      wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
+      wire::write_frame(io, rts, nullptr, 0);
+    }
+    metrics::bump(Counter::kWireSentFrames);
+    {
+      std::unique_lock<std::mutex> lk(ps.mu);
+      while (!ps.go) {
+        ps.cv.wait_for(lk, std::chrono::milliseconds(100));
+        if (!ps.go && stop_.load(std::memory_order_acquire)) break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(rdv_mu_);
+      pending_sends_.erase(id);
+    }
+    if (ps.go) {
+      wire::Header data = h;
+      data.kind = static_cast<std::uint32_t>(Kind::kData);
+      data.msg_id = id;
+      data.total_len = h.payload_len;
+      metrics::bump(Counter::kWireSentFrames);
+      std::lock_guard<std::mutex> lk(send_mu_[dproc]);
+      wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
+      wire::write_frame(io, data, spans, n);
+    }
+    if (on_consumed) on_consumed();
+  }
+
+  void send_proc_done(int src_pe) override {
+    if (my_proc_ == 0) {
+      hooks_.on_proc_done();
+      return;
+    }
+    wire::Header h;
+    h.kind = static_cast<std::uint32_t>(Kind::kProcDone);
+    h.src_pe = src_pe;
+    h.dest_pe = 0;
+    std::lock_guard<std::mutex> lk(send_mu_[0]);
+    wire::FdIo io(send_fd_[0]);
+    wire::write_frame(io, h, nullptr, 0);
+  }
+
+  void broadcast_stop() override {
+    wire::Header h;
+    h.kind = static_cast<std::uint32_t>(Kind::kStop);
+    for (int d = 0; d < opt_.nprocs; ++d) {
+      if (d == my_proc_) continue;
+      std::lock_guard<std::mutex> lk(send_mu_[d]);
+      wire::FdIo io(send_fd_[static_cast<std::size_t>(d)]);
+      wire::write_frame(io, h, nullptr, 0);
+    }
+    hooks_.on_stop();
+  }
+
+  void stop_local() override {
+    stop_.store(true, std::memory_order_release);
+    if (wake_pipe_[1] >= 0) {
+      char b = 1;
+      [[maybe_unused]] ssize_t r = ::write(wake_pipe_[1], &b, 1);
+    }
+    // Wake any sender still waiting for a CTS that will never come.
+    std::lock_guard<std::mutex> lk(rdv_mu_);
+    for (auto& [id, ps] : pending_sends_) {
+      (void)id;
+      std::lock_guard<std::mutex> plk(ps->mu);
+      ps->cv.notify_all();
+    }
+  }
+
+  void join() override {
+    MFC_CHECK(stop_.load(std::memory_order_acquire));
+    if (comm_.joinable()) comm_.join();
+  }
+
+ private:
+  struct PendingSend {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool go = false;
+  };
+
+  struct FdSink {
+    SocketTransport* t = nullptr;
+    int peer = 0;
+    Message* cur = nullptr;
+
+    char* on_header(const wire::Header& h) {
+      switch (static_cast<Kind>(h.kind)) {
+        case Kind::kEager:
+          cur = t->hooks_.alloc(h, h.payload_len);
+          return payload_ptr(cur);
+        case Kind::kData: {
+          // Landing buffer was pre-sized at kRts; bytes stream straight in.
+          auto it = t->pending_recvs_.find(h.msg_id);
+          MFC_CHECK_MSG(it != t->pending_recvs_.end(),
+                        "kData without a matching kRts");
+          cur = it->second;
+          t->pending_recvs_.erase(it);
+          return payload_ptr(cur);
+        }
+        default:
+          return nullptr;
+      }
+    }
+
+    void on_frame(const wire::Header& h, char*) {
+      switch (static_cast<Kind>(h.kind)) {
+        case Kind::kEager:
+        case Kind::kData:
+          metrics::bump(Counter::kWireDelivered);
+          t->hooks_.enqueue(cur);
+          cur = nullptr;
+          break;
+        case Kind::kRts: {
+          Message* m = t->hooks_.alloc(h, h.total_len);
+          t->pending_recvs_[h.msg_id] = m;
+          wire::Header cts;
+          cts.kind = static_cast<std::uint32_t>(Kind::kCts);
+          cts.msg_id = h.msg_id;
+          const int sproc = h.src_pe / t->ppn_;
+          std::lock_guard<std::mutex> lk(t->send_mu_[sproc]);
+          wire::FdIo io(t->send_fd_[static_cast<std::size_t>(sproc)]);
+          wire::write_frame(io, cts, nullptr, 0);
+          break;
+        }
+        case Kind::kCts: {
+          std::lock_guard<std::mutex> lk(t->rdv_mu_);
+          auto it = t->pending_sends_.find(h.msg_id);
+          if (it != t->pending_sends_.end()) {
+            std::lock_guard<std::mutex> plk(it->second->mu);
+            it->second->go = true;
+            it->second->cv.notify_all();
+          }
+          break;
+        }
+        case Kind::kProcDone:
+          t->hooks_.on_proc_done();
+          break;
+        case Kind::kStop:
+          t->hooks_.on_stop();
+          break;
+        default:
+          MFC_CHECK_MSG(false, "unexpected frame kind on socket");
+      }
+    }
+  };
+
+  void comm_loop() {
+    const std::size_t nfd = recv_.size();
+    std::vector<wire::Reader> readers(nfd);
+    std::vector<FdSink> sinks(nfd);
+    std::vector<wire::FdIo> ios(nfd);
+    for (std::size_t i = 0; i < nfd; ++i) {
+      sinks[i] = {this, recv_[i].second, nullptr};
+      ios[i] = wire::FdIo(recv_[i].first);
+    }
+    std::vector<pollfd> pfds(nfd + 1);
+    for (;;) {
+      for (std::size_t i = 0; i < nfd; ++i)
+        pfds[i] = {recv_[i].first, POLLIN, 0};
+      pfds[nfd] = {wake_pipe_[0], POLLIN, 0};
+      ::poll(pfds.data(), pfds.size(), 100);
+      if (pfds[nfd].revents & POLLIN) {
+        char buf[64];
+        while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        }
+      }
+      bool eof_all = true;
+      for (std::size_t i = 0; i < nfd; ++i) {
+        if (recv_[i].first < 0) continue;
+        wire::PumpResult r = readers[i].pump(ios[i], sinks[i]);
+        if (r == wire::PumpResult::kEof) {
+          recv_[i].first = -1;  // peer exited; parent's idle hook polices
+        } else {
+          eof_all = false;
+        }
+      }
+      if (stop_.load(std::memory_order_acquire)) {
+        // Drain whatever arrived alongside the stop order, then leave.
+        bool drained = true;
+        for (std::size_t i = 0; i < nfd; ++i) {
+          if (recv_[i].first >= 0 && !readers[i].idle()) drained = false;
+        }
+        if (drained || eof_all) break;
+      }
+      if (hooks_.idle) hooks_.idle();
+    }
+    // Envelopes pre-sized for rendezvous data that never arrived.
+    for (auto& [id, m] : pending_recvs_) {
+      (void)id;
+      hooks_.drop(m);
+    }
+    pending_recvs_.clear();
+  }
+
+  void close_all() {
+    auto cl = [](int& fd) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    };
+    cl(loop_send_);
+    cl(loop_recv_);
+    for (auto& row : ends_)
+      for (int& fd : row) cl(fd);
+    for (int& fd : send_fd_) fd = -1;  // aliases of ends_/loop fds
+    cl(wake_pipe_[0]);
+    cl(wake_pipe_[1]);
+  }
+
+  Options opt_;
+  int ppn_ = 1;
+  int my_proc_ = 0;
+  int loop_send_ = -1;
+  int loop_recv_ = -1;
+  std::vector<std::vector<int>> ends_;
+  std::vector<int> send_fd_;
+  std::unique_ptr<std::mutex[]> send_mu_;
+  std::vector<std::pair<int, int>> recv_;  ///< (fd, peer proc)
+  int wake_pipe_[2] = {-1, -1};
+  Hooks hooks_;
+  std::atomic<bool> stop_{false};
+  std::thread comm_;
+  std::mutex rdv_mu_;
+  std::unordered_map<std::uint64_t, PendingSend*> pending_sends_;
+  /// Comm-thread-only (one comm thread handles every peer fd).
+  std::unordered_map<std::uint64_t, Message*> pending_recvs_;
+  std::atomic<std::uint64_t> rdv_seq_{1};
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_shm_transport(const Options& options) {
+  return std::make_unique<ShmTransport>(options);
+}
+
+std::unique_ptr<Transport> make_socket_transport(const Options& options) {
+  return std::make_unique<SocketTransport>(options);
+}
+
+}  // namespace mfc::converse::transport

@@ -15,6 +15,10 @@ namespace mfc::iso {
 
 namespace {
 Region* g_region = nullptr;
+// Cross-process lease hooks (see region.h). Installed by the machine layer
+// post-fork on multi-process machines; both set or both empty.
+std::function<bool(int)> g_lease_owner_local;
+std::function<void(SlotId)> g_lease_forward;
 }
 
 void Region::init(const Config& config) {
@@ -111,10 +115,41 @@ void Region::release(SlotId id) {
   trace::emit(trace::Ev::kIsoSlotRelease, 0, id.index, id.count,
               static_cast<std::int16_t>(id.pe));
   evacuate(id);
+  if (g_lease_owner_local && !g_lease_owner_local(id.pe)) {
+    // Leased strip owned by another process: this process's bitmap copy
+    // never recorded the acquire, so the free order travels to the birth
+    // process (free_remote) instead of corrupting the local books.
+    g_lease_forward(id);
+    return;
+  }
   Strip& strip = strips_[static_cast<std::size_t>(id.pe)];
   std::lock_guard<std::mutex> lock(strip.mutex);
   for (std::uint32_t k = 0; k < id.count; ++k) {
     MFC_CHECK_MSG(strip.used[id.index + k], "double release of iso slot");
+    strip.used[id.index + k] = false;
+  }
+  strip.used_count -= id.count;
+}
+
+void Region::set_lease(std::function<bool(int)> owner_local,
+                       std::function<void(SlotId)> forward) {
+  MFC_CHECK(owner_local != nullptr && forward != nullptr);
+  g_lease_owner_local = std::move(owner_local);
+  g_lease_forward = std::move(forward);
+}
+
+void Region::clear_lease() {
+  g_lease_owner_local = nullptr;
+  g_lease_forward = nullptr;
+}
+
+void Region::free_remote(SlotId id) {
+  MFC_CHECK(id.valid());
+  Strip& strip = strips_[static_cast<std::size_t>(id.pe)];
+  std::lock_guard<std::mutex> lock(strip.mutex);
+  for (std::uint32_t k = 0; k < id.count; ++k) {
+    MFC_CHECK_MSG(strip.used[id.index + k],
+                  "remote free of an unused iso slot");
     strip.used[id.index + k] = false;
   }
   strip.used_count -= id.count;

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -79,6 +80,25 @@ class Region {
   /// True when `p` points inside the isomalloc reservation — used by the
   /// malloc-interposition layer to route free() correctly.
   bool contains(const void* p) const;
+
+  /// Cross-process slot leasing. On a multi-process machine every process
+  /// holds a copy-on-write copy of the strip bitmaps, so a slot's `used`
+  /// bits are only meaningful in the process that acquired it (its birth
+  /// process — the one hosting the strip's PE). The machine layer installs
+  /// a lease after forking: release() then evacuates the local pages and,
+  /// when the strip's PE is not local, forwards the free order instead of
+  /// touching the (stale) local bitmap. The birth process applies it via
+  /// free_remote(). Single-process machines never install a lease and keep
+  /// the fully-local path.
+  static void set_lease(std::function<bool(int)> owner_local,
+                        std::function<void(SlotId)> forward);
+  static void clear_lease();
+
+  /// Applies a forwarded free in the slot's birth process: clears the
+  /// `used` bits and nothing else — the pages here were already evacuated
+  /// when the owning thread departed, and the releasing process dropped its
+  /// own mapping before forwarding.
+  void free_remote(SlotId id);
 
   const Config& config() const { return config_; }
   void* base() const { return base_; }

@@ -1,5 +1,7 @@
 #include "migrate/manifest.h"
 
+#include <cstring>
+
 #include "migrate/migratable.h"
 #include "util/check.h"
 
@@ -79,6 +81,55 @@ ThreadImage image_from_manifest(const ImageManifest& m) {
   image.stack_capacity = m.stack_capacity;
   image.arena_base = m.arena_base;
   return image;
+}
+
+std::vector<IoRun> ImageManifest::wire_spans(std::vector<char>* scratch) const {
+  MFC_CHECK(scratch != nullptr);
+  auto& self = const_cast<ImageManifest&>(*this);
+  // Scratch holds every byte to_wire() would emit that is NOT a run
+  // payload: [metadata prefix + run count][one length word per run]
+  // [stack length word][stack_capacity + arena_base]. Sized up front so the
+  // span pointers survive — no reallocation after the first resize.
+  pup::Sizer prefix_sizer;
+  prefix_sizer | self.technique | self.thread_id | self.accumulated_load |
+      self.saved_sp | self.stack_slot | self.heap_slots;
+  const std::size_t prefix = prefix_sizer.size() + sizeof(std::size_t);
+  pup::Sizer trailer_sizer;
+  trailer_sizer | self.stack_capacity | self.arena_base;
+  const std::size_t trailer = trailer_sizer.size();
+  scratch->resize(prefix + (runs.size() + 1) * sizeof(std::size_t) + trailer);
+  char* s = scratch->data();
+  {
+    pup::MemPacker p(s, prefix);
+    p | self.technique | self.thread_id | self.accumulated_load |
+        self.saved_sp | self.stack_slot | self.heap_slots;
+    std::size_t n = runs.size();
+    p.bytes(&n, sizeof n);
+    MFC_CHECK(p.written(s) == prefix);
+  }
+  std::vector<IoRun> spans;
+  spans.reserve(2 * runs.size() + 4);
+  spans.push_back({s, prefix});
+  std::size_t off = prefix;
+  for (const IoRun& run : runs) {
+    const std::size_t len = run.len;
+    std::memcpy(s + off, &len, sizeof len);
+    spans.push_back({s + off, sizeof len});
+    off += sizeof len;
+    if (run.len) spans.push_back(run);
+  }
+  const std::size_t stack_len = stack_run.len;
+  std::memcpy(s + off, &stack_len, sizeof stack_len);
+  spans.push_back({s + off, sizeof stack_len});
+  off += sizeof stack_len;
+  if (stack_run.len) spans.push_back(stack_run);
+  {
+    pup::MemPacker p(s + off, trailer);
+    p | self.stack_capacity | self.arena_base;
+    MFC_CHECK(p.written(s + off) == trailer);
+  }
+  spans.push_back({s + off, trailer});
+  return spans;
 }
 
 std::vector<ImageManifest::RunSpan> ImageManifest::layout() const {

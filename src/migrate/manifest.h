@@ -88,6 +88,15 @@ class ImageManifest {
   /// the metadata and run lengths are unchanged — the dirty-run patch path
   /// re-copies only touched runs into a cached wire image at these offsets.
   std::vector<RunSpan> layout() const;
+
+  /// Scatter-gather view of the serialized stream: a span list whose
+  /// concatenation is byte-identical to to_wire(), with run payloads
+  /// referenced in place (no copy) and only the framing — metadata prefix,
+  /// per-run length words, trailer — staged into `scratch`. Feeding the
+  /// spans to send_spans()/writev is the fully zero-copy ship path: the
+  /// image's data pages are read exactly once, by the wire itself. The
+  /// spans stay valid while `scratch` and the image's source memory do.
+  std::vector<IoRun> wire_spans(std::vector<char>* scratch) const;
 };
 
 }  // namespace mfc::migrate

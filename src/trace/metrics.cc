@@ -63,6 +63,12 @@ const char* to_string(Counter c) {
     case Counter::kFtDeltaRanges: return "ft-delta-ranges";
     case Counter::kFtAsyncChunks: return "ft-async-chunks";
     case Counter::kFtDirtyPages: return "ft-dirty-pages";
+    case Counter::kWireSentFrames: return "wire-sent-frames";
+    case Counter::kWireSentBytes: return "wire-sent-bytes";
+    case Counter::kWireDelivered: return "wire-delivered";
+    case Counter::kWireChunks: return "wire-chunks";
+    case Counter::kWireRendezvous: return "wire-rendezvous";
+    case Counter::kSpanSends: return "span-sends";
     case Counter::kCount: break;
   }
   return "?";

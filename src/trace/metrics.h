@@ -52,6 +52,15 @@ enum class Counter : int {
   kFtDeltaRanges,  ///< coalesced dirty ranges shipped in incremental stores
   kFtAsyncChunks,  ///< bounded stream chunks sent by async checkpointing
   kFtDirtyPages,   ///< pages caught by the write barrier between epochs
+  // Cross-process wire transports (converse/transport). Sent-side counters
+  // land in the sending PE's slot; delivered lands in the comm thread's
+  // shared slot (it never binds a PE).
+  kWireSentFrames,  ///< frames pushed onto a ring / written to a socket
+  kWireSentBytes,   ///< payload bytes shipped over the wire
+  kWireDelivered,   ///< messages enqueued from the wire to a local PE
+  kWireChunks,      ///< kChunk frames (messages split to fit the shm ring)
+  kWireRendezvous,  ///< rendezvous (RTS/CTS/DATA) transfers initiated
+  kSpanSends,       ///< send_spans() calls (scatter-gather message sends)
   kCount,
 };
 constexpr int kCounterCount = static_cast<int>(Counter::kCount);

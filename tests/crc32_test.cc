@@ -141,4 +141,50 @@ TEST(Crc32, StreamingMatchesOneShotUnderRandomChunking) {
   EXPECT_EQ(seeded.value(), whole);
 }
 
+TEST(Crc32, ThreeWaySplitChainsOnEveryImplementation) {
+  // The transport's eager/chunk/rendezvous split means one logical message
+  // can be CRC'd as up to three separately-seeded passes (staged prefix,
+  // in-place spans, trailer). Any i <= j split into [0,i) [i,j) [j,n) must
+  // chain to the one-shot value — on every dispatch variant, not just the
+  // one this host resolved to.
+  const std::vector<char> buf = patterned(611, 0x3AB5);
+  using Impl = std::uint32_t (*)(std::uint32_t, const void*, std::size_t);
+  const Impl impls[] = {detail::crc32c_update_reference,
+                        detail::crc32c_update_slice8,
+                        detail::crc32c_update_dispatch};
+  const char* names[] = {"reference", "slice8", "dispatch"};
+
+  // Exhaustive over a coarse grid plus every boundary-adjacent pair, then a
+  // seeded sweep of fully arbitrary (i, j) points.
+  std::vector<std::pair<std::size_t, std::size_t>> splits;
+  for (std::size_t i = 0; i <= buf.size(); i += 61) {
+    for (std::size_t j = i; j <= buf.size(); j += 67) splits.push_back({i, j});
+  }
+  for (std::size_t b : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        std::size_t{8}, std::size_t{9}, buf.size() - 1,
+                        buf.size()}) {
+    splits.push_back({b, b});
+    splits.push_back({0, b});
+    splits.push_back({b, buf.size()});
+  }
+  mfc::SplitMix64 rng(0x3577A7);
+  for (int t = 0; t < 200; ++t) {
+    const std::size_t i = rng.next_below(buf.size() + 1);
+    const std::size_t j = i + rng.next_below(buf.size() + 1 - i);
+    splits.push_back({i, j});
+  }
+
+  for (int k = 0; k < 3; ++k) {
+    const std::uint32_t whole = full_crc(impls[k], buf.data(), buf.size());
+    for (const auto& [i, j] : splits) {
+      const std::uint32_t a = full_crc(impls[k], buf.data(), i);
+      const std::uint32_t b = full_crc(impls[k], buf.data() + i, j - i, a);
+      const std::uint32_t c =
+          full_crc(impls[k], buf.data() + j, buf.size() - j, b);
+      ASSERT_EQ(c, whole) << names[k] << " broke at split (" << i << ", "
+                          << j << ")";
+    }
+  }
+}
+
 }  // namespace

@@ -126,6 +126,30 @@ TEST(Storm, HundredRoundAcceptanceUnderFullChaos) {
   EXPECT_GT(fired, 0u) << "full-chaos storm must actually inject faults";
 }
 
+TEST(Storm, WorkloadDigestIsTransportIndependent) {
+  // The same seed on all three machine wires (in-process queues, shm rings,
+  // sockets — loopback mode, every cross-PE message including the
+  // scatter-gather thread-image ships riding the codec) must produce one
+  // workload digest: itineraries and histories are functions of the seed,
+  // never of which transport carried them. Chaos stays off so the only
+  // variable is the wire.
+  StormOptions opt = quiet_options(9001);
+  StormReport reports[3];
+  for (int t = 0; t < 3; ++t) {
+    opt.transport = t;
+    reports[t] = chaos::run_storm(opt);
+    expect_clean(reports[t], opt);
+  }
+  EXPECT_EQ(reports[0].workload_digest, reports[1].workload_digest)
+      << "shm wire changed the workload";
+  EXPECT_EQ(reports[0].workload_digest, reports[2].workload_digest)
+      << "socket wire changed the workload";
+  // The wire moves the same logical bytes too: serialized thread-image
+  // volume is transport-invariant.
+  EXPECT_EQ(reports[0].wire_bytes, reports[1].wire_bytes);
+  EXPECT_EQ(reports[0].wire_bytes, reports[2].wire_bytes);
+}
+
 /// Fixed three-seed matrix run by the tsan CI preset (-L stress).
 class StormSeedMatrix : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,0 +1,290 @@
+// Wire codec short-read / short-write torture (labeled transport).
+//
+// The socket transport's framing must survive whatever the kernel does to
+// its reads and writes: sendmsg taking one byte of a 40-entry iovec,
+// recv returning single bytes across a header boundary, EAGAIN landing
+// mid-payload. These tests drive write_frame/Reader through a deterministic
+// in-memory pipe that slices every transfer at seeded points — including the
+// 1-byte worst case — and assert the frames reassemble byte-identically,
+// with the reader's resumable state machine never losing its place.
+#include "converse/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace mfc::converse::wire;
+using mfc::SplitMix64;
+
+/// In-memory pipe that injects short transfers. Writes append at most
+/// `write_cap` bytes per call (walking the iovec list exactly as a kernel
+/// partial sendmsg would); reads pop at most `read_cap` bytes. A drained
+/// pipe reads as would-block (-1) until `eof` is set, then as EOF (0).
+struct ChoppyPipe {
+  std::deque<char> bytes;
+  std::size_t write_cap = SIZE_MAX;
+  std::size_t read_cap = SIZE_MAX;
+  bool eof = false;
+  /// Optional per-call cap rng: caps drawn in [1, cap_max] when set.
+  SplitMix64* cap_rng = nullptr;
+  std::size_t cap_max = 0;
+
+  std::size_t next_cap(std::size_t fixed) {
+    if (cap_rng == nullptr) return fixed;
+    return 1 + static_cast<std::size_t>(cap_rng->next_below(cap_max));
+  }
+
+  std::ptrdiff_t write_some(const iovec* iov, int iovcnt) {
+    std::size_t budget = next_cap(write_cap);
+    std::size_t wrote = 0;
+    for (int i = 0; i < iovcnt && budget != 0; ++i) {
+      const char* p = static_cast<const char*>(iov[i].iov_base);
+      const std::size_t take =
+          iov[i].iov_len < budget ? iov[i].iov_len : budget;
+      bytes.insert(bytes.end(), p, p + take);
+      wrote += take;
+      budget -= take;
+    }
+    return static_cast<std::ptrdiff_t>(wrote);
+  }
+
+  std::ptrdiff_t read_some(void* dst, std::size_t n) {
+    if (bytes.empty()) return eof ? 0 : -1;
+    std::size_t take = next_cap(read_cap);
+    if (take > n) take = n;
+    if (take > bytes.size()) take = bytes.size();
+    for (std::size_t i = 0; i < take; ++i) {
+      static_cast<char*>(dst)[i] = bytes.front();
+      bytes.pop_front();
+    }
+    return static_cast<std::ptrdiff_t>(take);
+  }
+};
+
+/// Collects every completed frame. With `use_scratch` the sink returns
+/// nullptr from on_header, exercising the reader's internal scratch path.
+struct CollectSink {
+  struct Frame {
+    Header h;
+    std::vector<char> payload;
+  };
+  std::vector<Frame> frames;
+  bool use_scratch = false;
+  std::vector<char> landing;
+
+  char* on_header(const Header& h) {
+    if (use_scratch) return nullptr;
+    landing.assign(h.payload_len, '\0');
+    return landing.data();
+  }
+  void on_frame(const Header& h, char* payload) {
+    Frame f;
+    f.h = h;
+    if (h.payload_len != 0) f.payload.assign(payload, payload + h.payload_len);
+    frames.push_back(std::move(f));
+  }
+};
+
+std::vector<char> patterned(std::size_t n, std::uint64_t salt) {
+  std::vector<char> v(n);
+  SplitMix64 rng(salt);
+  for (auto& b : v) b = static_cast<char>(rng.next());
+  return v;
+}
+
+Header make_header(std::uint64_t payload_len, std::uint32_t seq) {
+  Header h;
+  h.kind = static_cast<std::uint32_t>(Kind::kEager);
+  h.handler = seq;
+  h.src_pe = static_cast<std::int32_t>(seq % 7);
+  h.dest_pe = static_cast<std::int32_t>(seq % 5);
+  h.payload_len = payload_len;
+  h.total_len = payload_len;
+  h.msg_id = 0x1234567800ULL + seq;
+  h.trace_flow = seq * 3;
+  return h;
+}
+
+TEST(Wire, SpansGatherMatchesConcatenation) {
+  const std::vector<char> a = patterned(13, 1), b = patterned(0, 2),
+                          c = patterned(77, 3);
+  const Span spans[] = {{a.data(), a.size()}, {b.data(), b.size()},
+                        {c.data(), c.size()}};
+  ASSERT_EQ(spans_total(spans, 3), a.size() + c.size());
+  std::vector<char> out(spans_total(spans, 3));
+  spans_gather(out.data(), spans, 3);
+  std::vector<char> expect = a;
+  expect.insert(expect.end(), c.begin(), c.end());
+  EXPECT_EQ(out, expect);
+}
+
+TEST(Wire, OneByteReadsReassembleMultiSpanFrames) {
+  // The brutal case: the reader sees the stream one byte at a time, across
+  // header boundaries and multi-span payload boundaries alike.
+  ChoppyPipe pipe;
+  pipe.read_cap = 1;
+
+  const std::vector<char> part1 = patterned(100, 11);
+  const std::vector<char> part2 = patterned(1, 12);
+  const std::vector<char> part3 = patterned(301, 13);
+  const Span spans[] = {{part1.data(), part1.size()},
+                        {part2.data(), part2.size()},
+                        {part3.data(), part3.size()}};
+  const std::size_t total = spans_total(spans, 3);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(write_frame(pipe, make_header(total, i), spans, 3));
+  }
+
+  Reader reader;
+  CollectSink sink;
+  EXPECT_EQ(reader.pump(pipe, sink), PumpResult::kWouldBlock);
+  EXPECT_TRUE(reader.idle());
+  ASSERT_EQ(sink.frames.size(), 5u);
+
+  std::vector<char> expect = part1;
+  expect.insert(expect.end(), part2.begin(), part2.end());
+  expect.insert(expect.end(), part3.begin(), part3.end());
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sink.frames[i].h.handler, i);
+    EXPECT_EQ(sink.frames[i].h.payload_len, total);
+    EXPECT_EQ(sink.frames[i].payload, expect) << "frame " << i;
+  }
+}
+
+TEST(Wire, PartialWritevReturnsAdvanceMidIovec) {
+  // write_cap = 1 forces write_frame to re-enter once per byte, walking the
+  // iovec list through every possible partial position (including inside
+  // the header).
+  ChoppyPipe pipe;
+  pipe.write_cap = 1;
+
+  const std::vector<char> payload = patterned(257, 21);
+  const Span spans[] = {{payload.data(), 64}, {payload.data() + 64, 0},
+                        {payload.data() + 64, payload.size() - 64}};
+  Header h = make_header(payload.size(), 99);
+  ASSERT_TRUE(write_frame(pipe, h, spans, 3));
+  ASSERT_EQ(pipe.bytes.size(), sizeof(Header) + payload.size());
+
+  // The stream is the header bytes followed by the exact payload.
+  std::vector<char> stream(pipe.bytes.begin(), pipe.bytes.end());
+  Header echoed;
+  std::memcpy(&echoed, stream.data(), sizeof echoed);
+  EXPECT_EQ(echoed.handler, 99u);
+  EXPECT_EQ(echoed.payload_len, payload.size());
+  EXPECT_TRUE(std::memcmp(stream.data() + sizeof(Header), payload.data(),
+                          payload.size()) == 0);
+}
+
+TEST(Wire, ReaderResumesAcrossIncrementalDelivery) {
+  // Bytes arrive in dribs between pump calls; the reader must hold partial
+  // header/payload state across kWouldBlock returns without corruption.
+  ChoppyPipe staging;  // holds the full stream
+  const std::vector<char> payload = patterned(500, 31);
+  const Span span{payload.data(), payload.size()};
+  ASSERT_TRUE(write_frame(staging, make_header(payload.size(), 7), &span, 1));
+
+  ChoppyPipe pipe;
+  Reader reader;
+  CollectSink sink;
+  SplitMix64 rng(404);
+  while (!staging.bytes.empty()) {
+    // Move a random dribble into the live pipe, then pump.
+    const std::size_t n =
+        1 + static_cast<std::size_t>(rng.next_below(
+                std::min<std::uint64_t>(staging.bytes.size(), 17)));
+    for (std::size_t i = 0; i < n; ++i) {
+      pipe.bytes.push_back(staging.bytes.front());
+      staging.bytes.pop_front();
+    }
+    EXPECT_EQ(reader.pump(pipe, sink), PumpResult::kWouldBlock);
+  }
+  ASSERT_EQ(sink.frames.size(), 1u);
+  EXPECT_EQ(sink.frames[0].payload, payload);
+  EXPECT_TRUE(reader.idle());
+}
+
+TEST(Wire, EofAtFrameBoundaryIsCleanAndScratchPathWorks) {
+  ChoppyPipe pipe;
+  const std::vector<char> payload = patterned(64, 41);
+  const Span span{payload.data(), payload.size()};
+  ASSERT_TRUE(write_frame(pipe, make_header(payload.size(), 1), &span, 1));
+  pipe.eof = true;
+
+  Reader reader;
+  CollectSink sink;
+  sink.use_scratch = true;  // on_header returns nullptr → internal scratch
+  EXPECT_EQ(reader.pump(pipe, sink), PumpResult::kEof);
+  ASSERT_EQ(sink.frames.size(), 1u);
+  EXPECT_EQ(sink.frames[0].payload, payload);
+  EXPECT_TRUE(reader.idle());
+}
+
+TEST(Wire, EmptyPayloadFrames) {
+  ChoppyPipe pipe;
+  pipe.read_cap = 1;
+  ASSERT_TRUE(write_frame(pipe, make_header(0, 3), nullptr, 0));
+  ASSERT_TRUE(write_frame(pipe, make_header(0, 4), nullptr, 0));
+  Reader reader;
+  CollectSink sink;
+  EXPECT_EQ(reader.pump(pipe, sink), PumpResult::kWouldBlock);
+  ASSERT_EQ(sink.frames.size(), 2u);
+  EXPECT_EQ(sink.frames[0].h.handler, 3u);
+  EXPECT_EQ(sink.frames[1].h.handler, 4u);
+  EXPECT_TRUE(sink.frames[0].payload.empty());
+}
+
+TEST(Wire, FuzzSeededSplitPoints) {
+  // 32 seeded trials: random span lists (zero-length spans included),
+  // random per-call read/write caps, several frames per trial. Every trial
+  // must reassemble every frame byte-identically with the reader idle at
+  // the end — whatever the slicing.
+  for (std::uint64_t trial = 0; trial < 32; ++trial) {
+    SplitMix64 rng(0xA11CE + trial * 0x9e3779b97f4a7c15ULL);
+    SplitMix64 caps(trial * 77 + 5);
+    ChoppyPipe pipe;
+    pipe.cap_rng = &caps;
+    pipe.cap_max = 1 + static_cast<std::size_t>(rng.next_below(97));
+
+    const int nframes = 1 + static_cast<int>(rng.next_below(6));
+    std::vector<std::vector<char>> expected;
+    for (int f = 0; f < nframes; ++f) {
+      const std::size_t nspans = 1 + rng.next_below(8);
+      std::vector<std::vector<char>> parts;
+      std::vector<Span> spans;
+      std::vector<char> concat;
+      for (std::size_t s = 0; s < nspans; ++s) {
+        const std::size_t len = static_cast<std::size_t>(rng.next_below(700));
+        parts.push_back(patterned(len, rng.next()));
+        concat.insert(concat.end(), parts.back().begin(), parts.back().end());
+      }
+      for (const auto& p : parts) spans.push_back({p.data(), p.size()});
+      ASSERT_TRUE(write_frame(pipe,
+                              make_header(concat.size(),
+                                          static_cast<std::uint32_t>(f)),
+                              spans.data(), spans.size()));
+      expected.push_back(std::move(concat));
+    }
+
+    Reader reader;
+    CollectSink sink;
+    // Pump until drained; each call may stop at any would-block point.
+    while (reader.pump(pipe, sink) == PumpResult::kWouldBlock &&
+           !pipe.bytes.empty()) {
+    }
+    ASSERT_EQ(sink.frames.size(), expected.size()) << "trial " << trial;
+    for (std::size_t f = 0; f < expected.size(); ++f) {
+      ASSERT_EQ(sink.frames[f].payload, expected[f])
+          << "trial " << trial << " frame " << f;
+    }
+    EXPECT_TRUE(reader.idle()) << "trial " << trial;
+  }
+}
+
+}  // namespace
