@@ -26,6 +26,7 @@
 #include "pup/pup.h"
 #include "sdag/retswitch.h"
 #include "sdag/sdag.h"
+#include "trace/hist.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "ult/scheduler.h"
@@ -518,6 +519,90 @@ void run_trace_suite() {
   if (!mfc::bench::write_msg_bench_json("BENCH_trace.json", "trace_overhead",
                                         rows)) {
     std::fprintf(stderr, "warning: could not write BENCH_trace.json\n");
+  }
+  std::printf("\n");
+}
+
+// ---- histogram overhead (observability plane acceptance) ----
+// The same messaging workloads run with the latency histograms off and
+// armed. With histograms off every instrumentation site costs one
+// predictable branch on hist::on(). Armed, each message pays a send-side
+// rdtsc stamp plus two recorded samples at dispatch (queue-wait and
+// handler-service: one rdtsc each and a relaxed single-writer bucket
+// bump). The acceptance bar is <= 10% cpu-time loss on pingpong; rows
+// land in BENCH_obs.json and ci_obs.sh gates the obs_on/obs_off ratio.
+
+/// Runs `fn` (a whole-machine workload returning a bench row) with the
+/// histogram registry armed around it when `armed`. The slots are reset
+/// per run so bucket bumps never contend with a stale geometry; the
+/// snapshot/dump path is not under test here, only the hot-path record.
+template <typename Fn>
+mfc::bench::MsgBenchRow hist_run(bool armed, int npes, Fn&& fn) {
+  if (armed) {
+    mfc::hist::reset(npes);
+    mfc::hist::enable(true);
+  }
+  const double cpu0 = mfc::process_cpu_time();
+  mfc::bench::MsgBenchRow row = fn();
+  row.cpu_seconds = mfc::process_cpu_time() - cpu0;
+  if (armed) mfc::hist::enable(false);
+  row.mode = armed ? "obs_on" : "obs_off";
+  return row;
+}
+
+/// Paired off/on reps with the median-ratio methodology of
+/// paired_overhead_pct above (same one-core host rationale).
+template <typename Fn>
+double paired_hist_overhead_pct(int reps, int npes, Fn&& fn,
+                                std::vector<mfc::bench::MsgBenchRow>& rows) {
+  std::vector<mfc::bench::MsgBenchRow> offs, ons;
+  std::vector<std::pair<double, int>> ratios;
+  for (int i = 0; i < reps; ++i) {
+    offs.push_back(hist_run(false, npes, fn));
+    ons.push_back(hist_run(true, npes, fn));
+    ratios.emplace_back(ons.back().cpu_seconds / offs.back().cpu_seconds, i);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const int mid = ratios[ratios.size() / 2].second;
+  rows.push_back(offs[static_cast<std::size_t>(mid)]);
+  print_row(rows.back());
+  rows.push_back(ons[static_cast<std::size_t>(mid)]);
+  print_row(rows.back());
+  return (ratios[ratios.size() / 2].first - 1.0) * 100.0;
+}
+
+void run_obs_suite() {
+  constexpr int kNpes = 4;
+  constexpr int kReps = 21;
+  constexpr int kOneDeepMsgs = 2000;
+  constexpr int kWindow = 16;
+  constexpr int kMsgsPerBall = 1250;
+  constexpr int kBcastPerPe = 10000;
+
+  std::printf(
+      "# histogram overhead: paired obs off/on reps, median cpu-time ratio "
+      "of %d (npes=%d)\n",
+      kReps, kNpes);
+  std::vector<mfc::bench::MsgBenchRow> rows;
+  const double pingpong_pct = paired_hist_overhead_pct(kReps, 2, [&] {
+    return run_pingpong("pingpong", 2, false, 1, kOneDeepMsgs);
+  }, rows);
+  const double windowed_pct = paired_hist_overhead_pct(kReps, kNpes, [&] {
+    return run_pingpong("pingpong_windowed", kNpes, false, kWindow,
+                        kMsgsPerBall);
+  }, rows);
+  const double bcast_pct = paired_hist_overhead_pct(kReps, kNpes, [&] {
+    return run_broadcast_storm(kNpes, false, kBcastPerPe);
+  }, rows);
+  std::printf("# %-16s histograms-on overhead (cpu): %s%%\n", "pingpong",
+              mfc::format_double(pingpong_pct, 1).c_str());
+  std::printf("# %-16s histograms-on overhead (cpu): %s%%\n",
+              "pingpong_windowed", mfc::format_double(windowed_pct, 1).c_str());
+  std::printf("# %-16s histograms-on overhead (cpu): %s%%\n",
+              "broadcast_storm", mfc::format_double(bcast_pct, 1).c_str());
+  if (!mfc::bench::write_msg_bench_json("BENCH_obs.json", "obs_overhead",
+                                        rows)) {
+    std::fprintf(stderr, "warning: could not write BENCH_obs.json\n");
   }
   std::printf("\n");
 }
@@ -1089,6 +1174,7 @@ int main(int argc, char** argv) {
   };
   if (want("converse")) conv_bench::run_converse_suite();
   if (want("trace")) conv_bench::run_trace_suite();
+  if (want("obs")) conv_bench::run_obs_suite();
   if (want("ft")) ft_bench::run_ft_suite();
   if (want("migrate")) migrate_bench::run_migrate_suite();
   if (want("transport")) transport_bench::run_transport_suite();

@@ -23,12 +23,15 @@
 #include "migrate/memalias_thread.h"
 #include "migrate/stackcopy_thread.h"
 #include "pup/pup.h"
+#include "trace/flight.h"
+#include "trace/hist.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "ult/scheduler.h"
 #include "util/check.h"
 #include "util/digest.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 // The mprotect write barrier takes SIGSEGV on purpose; tsan's signal
 // interception makes that combination fragile, so the telemetry arming is
@@ -108,8 +111,13 @@ struct ShipMsg {
   std::int32_t wid = 0;
   std::int32_t round = 0;
   std::uint64_t digest = 0;  ///< FNV-1a of `wire` at pack time
+  /// Pack-start rdtsc for the end-to-end migration latency histogram
+  /// (0 = histograms off; forked processes share the tsc domain, so the
+  /// receiver may subtract it directly). Constant-size, so same-seed
+  /// replays stay byte-count identical.
+  std::uint64_t stamp = 0;
   std::vector<char> wire;    ///< serialized ThreadImage
-  void pup(pup::Er& p) { p | wid | round | digest | wire; }
+  void pup(pup::Er& p) { p | wid | round | digest | stamp | wire; }
 };
 
 struct WorkerSlot {
@@ -455,12 +463,14 @@ void handle_dock(converse::Message&& m) {
     // Relay round-trip needs the image as one contiguous buffer anyway, so
     // this path keeps the gathering pack (and can survive injected relay
     // deaths, keyed by (worker, round) so the kill pattern replays).
+    const std::uint64_t e2e0 = hist::on() ? rdtsc() : 0;
     migrate::ThreadImage image = t->pack();
     delete t;  // pack() consumed it; only the image represents the worker now
 
     ShipMsg ship;
     ship.wid = d.wid;
     ship.round = d.round;
+    ship.stamp = e2e0;
     ship.wire = pup::to_bytes(image);
     ship.digest = fnv1a(ship.wire.data(), ship.wire.size());
     g->wire_bytes.fetch_add(ship.wire.size(), std::memory_order_relaxed);
@@ -474,6 +484,7 @@ void handle_dock(converse::Message&& m) {
     if (echoed.size() != ship.wire.size() ||
         fnv1a(echoed.data(), echoed.size()) != ship.digest) {
       g->digest_mismatches.fetch_add(1, std::memory_order_relaxed);
+      trace::flight::dump("storm-relay-digest-mismatch");
     } else {
       ship.wire = std::move(echoed);
     }
@@ -490,6 +501,7 @@ void handle_dock(converse::Message&& m) {
   // runs in on_consumed, which the send contract orders strictly before the
   // message can be delivered — even a same-process unpack at the same
   // isomalloc addresses cannot race the evacuation.
+  const std::uint64_t e2e0 = hist::on() ? rdtsc() : 0;
   migrate::ImageManifest man = t->pack_manifest(/*count=*/true);
   std::vector<char> scratch;
   const std::vector<migrate::IoRun> img_spans = man.wire_spans(&scratch);
@@ -505,11 +517,12 @@ void handle_dock(converse::Message&& m) {
   // pup operators ShipMsg::pup uses.
   std::int32_t wid = d.wid;
   std::int32_t round = d.round;
+  std::uint64_t stamp = e2e0;
   pup::Sizer sz;
-  sz | wid | round | digest;
+  sz | wid | round | digest | stamp;
   std::vector<char> prefix(sz.size() + sizeof(std::size_t));
   pup::MemPacker p(prefix.data(), prefix.size());
-  p | wid | round | digest;
+  p | wid | round | digest | stamp;
   std::size_t len_word = wire_len;
   p.bytes(&len_word, sizeof len_word);
   MFC_CHECK(p.written(prefix.data()) == prefix.size());
@@ -532,6 +545,7 @@ void handle_ship(converse::Message&& m) {
   // Transit integrity: the bytes that left the source arrived unchanged.
   if (fnv1a(ship.wire.data(), ship.wire.size()) != ship.digest) {
     g->digest_mismatches.fetch_add(1, std::memory_order_relaxed);
+    trace::flight::dump("storm-transit-digest-mismatch");
   }
   migrate::ThreadImage image;
   pup::from_bytes(ship.wire, image);
@@ -540,10 +554,17 @@ void handle_ship(converse::Message&& m) {
   if (rewire.size() != ship.wire.size() ||
       fnv1a(rewire.data(), rewire.size()) != ship.digest) {
     g->digest_mismatches.fetch_add(1, std::memory_order_relaxed);
+    trace::flight::dump("storm-pup-digest-mismatch");
   }
 
   auto* t = migrate::MigratableThread::unpack(std::move(image),
                                               converse::my_pe());
+  if (ship.stamp != 0 && hist::on()) {
+    const std::uint64_t now = rdtsc();
+    if (now > ship.stamp) {
+      hist::record(hist::Hist::kMigrateE2e, now - ship.stamp);
+    }
+  }
   t->set_delete_on_exit(true);
   {
     std::lock_guard<std::mutex> lock(g->mu);
@@ -869,8 +890,9 @@ void ft_on_recovered(std::uint64_t epoch) {
     current[w] = g->itinerary[w][static_cast<std::size_t>(g->ft_resume_round)];
   }
   const lb::Mapping next = lb::refine_lb(loads, current, g->opt.npes);
-  trace::emit(trace::Ev::kLbDecision, 0,
-              static_cast<std::uint32_t>(lb::migration_count(current, next)));
+  trace::emit_flight(
+      trace::Ev::kLbDecision, 0,
+      static_cast<std::uint32_t>(lb::migration_count(current, next)));
 
   g->ft_phase = StormGlobal::FtPhase::kResumePending;
   g->ft_victim_pe = -1;
@@ -991,7 +1013,8 @@ void checker_main(charm::ArrayBase* array) {
     // rounds) must not re-emit their marker: the digest counts every round
     // exactly once.
     if (r > g->ft_max_marked_round) {
-      trace::emit(trace::Ev::kStormRound, 0, static_cast<std::uint32_t>(r));
+      trace::emit_flight(trace::Ev::kStormRound, 0,
+                         static_cast<std::uint32_t>(r));
       g->ft_max_marked_round = r;
     }
     converse::broadcast(h_release, pup::to_bytes(std::int32_t{r}));

@@ -14,13 +14,18 @@
 #include <unordered_map>
 
 #include "converse/transport.h"
+#include "trace/flight.h"
+#include "trace/hist.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/queue.h"
+#include "util/timer.h"
 
 namespace mfc::converse {
+
+namespace flight = trace::flight;
 
 namespace {
 
@@ -174,6 +179,46 @@ HandlerId h_qd_start = 0;
 HandlerId h_qd_token = 0;
 HandlerId h_qd_release = 0;
 HandlerId h_iso_release = 0;
+HandlerId h_clock_ping = 0;
+HandlerId h_clock_reply = 0;
+HandlerId h_clock_set = 0;
+
+// ---- Trace clock handshake (multi-process runs with tracing on) ----
+//
+// Every process timestamps its trace records against CLOCK_MONOTONIC, which
+// forked same-host processes share — but the merge subtracts a measured
+// per-process skew anyway, so the trace format stays honest if a machine
+// layer ever spans real hosts. PE 0 runs one NTP-style exchange per remote
+// process over the ordinary message path (the shm control slot is strictly
+// SPSC, so the handshake cannot ride a new wire frame kind): ping carries
+// t0, the remote echoes its receive time tr, and PE 0 ships back
+// skew = tr - (t0 + t1)/2, which the remote stores into its trace session
+// for the part header. Best effort: on a shared clock the truth is ~0, so
+// queueing noise only nudges track alignment, never correctness.
+
+struct ClockPing {
+  std::int32_t proc = 0;
+  std::int64_t t0 = 0;
+  void pup(pup::Er& p) { p | proc | t0; }
+};
+
+struct ClockReply {
+  std::int32_t proc = 0;
+  std::int64_t t0 = 0;
+  std::int64_t tr = 0;
+  void pup(pup::Er& p) { p | proc | t0 | tr; }
+};
+
+struct ClockSet {
+  std::int64_t skew = 0;
+  void pup(pup::Er& p) { p | skew; }
+};
+
+std::int64_t mono_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 struct QdToken {
   std::uint64_t app_sent_at_start = 0;
@@ -265,7 +310,11 @@ Message* pool_acquire(Pe* pe) {
   return m;
 }
 
-/// Fast-path delivery: one acquire load for the handler, no lock.
+/// Fast-path delivery: one acquire load for the handler, no lock. With the
+/// latency histograms armed (MFC_STATS) it also settles the message's
+/// enqueue stamp into queue-wait and brackets the handler into service
+/// time — two extra rdtsc reads per message, behind the same predictable
+/// off-by-default branch the trace gate uses.
 void dispatch(Message* m) {
   HandlerFn* fn = handler_lookup(m->handler);
   metrics::bump(Counter::kMsgsDelivered);
@@ -273,7 +322,15 @@ void dispatch(Message* m) {
   trace::emit(trace::Ev::kHandlerBegin, m->trace_flow, h,
               static_cast<std::uint32_t>(m->payload.size()),
               static_cast<std::int16_t>(m->src_pe));
+  std::uint64_t t0 = 0;
+  if (hist::on()) {
+    t0 = rdtsc();
+    if (m->stamp != 0 && t0 > m->stamp) {
+      hist::record(hist::Hist::kQueueWait, t0 - m->stamp);
+    }
+  }
   (*fn)(std::move(*m));
+  if (t0 != 0) hist::record(hist::Hist::kHandlerService, rdtsc() - t0);
   trace::emit(trace::Ev::kHandlerEnd, 0, h);
   release_message(m);
 }
@@ -339,11 +396,24 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
   // mode — the scheduler's seeded choice RNG.
   metrics::bind_pe(pe->id);
   trace::bind_pe(pe->id);
+  hist::bind_pe(pe->id);
+  flight::bind_pe(pe->id);
   chaos::bind_stream(pe->id);
   pe->sched.set_choice_rng(chaos::sched_choice_rng());
 
   auto* main_thread = new ult::StandardThread(
       [pe, &entry] {
+        // Before any application traffic: PE 0 measures each remote
+        // process's clock skew so multi-process trace parts merge onto one
+        // timeline (quiet queues give the cleanest RTT estimate).
+        if (pe->id == 0 && g_machine->nprocs > 1 && trace::active()) {
+          for (int p = 1; p < g_machine->nprocs; ++p) {
+            ClockPing ping;
+            ping.proc = p;
+            ping.t0 = mono_now_ns();
+            send_value(p * g_machine->ppn, h_clock_ping, ping);
+          }
+        }
         entry(pe->id);
         if (g_machine->mains_finished.fetch_add(1) + 1 ==
             g_machine->local_npes) {
@@ -452,6 +522,8 @@ void pe_loop(Pe* pe, const std::function<void(int)>& entry) {
 
   pe->sched.set_choice_rng(nullptr);
   chaos::unbind_stream();
+  flight::unbind_pe();
+  hist::unbind_pe();
   trace::unbind_pe();
   metrics::unbind_pe();
   ult::Scheduler::set_current(nullptr);
@@ -547,6 +619,25 @@ void register_builtin_handlers() {
       auto id = m.as<iso::SlotId>();
       iso::Region::instance().free_remote(id);
     });
+    // Trace clock handshake (see the comment block above ClockPing).
+    h_clock_ping = register_handler([](Message&& m) {
+      auto ping = m.as<ClockPing>();
+      ClockReply r;
+      r.proc = ping.proc;
+      r.t0 = ping.t0;
+      r.tr = mono_now_ns();
+      send_value(0, h_clock_reply, r);
+    });
+    h_clock_reply = register_handler([](Message&& m) {
+      auto r = m.as<ClockReply>();
+      const std::int64_t t1 = mono_now_ns();
+      ClockSet set;
+      set.skew = r.tr - (r.t0 + t1) / 2;
+      send_value(r.proc * g_machine->ppn, h_clock_set, set);
+    });
+    h_clock_set = register_handler([](Message&& m) {
+      trace::set_clock_skew(m.as<ClockSet>().skew);
+    });
   });
 }
 
@@ -596,6 +687,20 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   // caller (storm driver, trace tests) is left for its owner to export.
   const bool owns_trace = trace::env_enabled() && !trace::active();
   if (owns_trace) trace::start(config.npes);
+
+  // Env-gated latency histograms (MFC_STATS=1): armed for the run, dumped
+  // as JSON at shutdown. Same ownership rule as tracing so benches can arm
+  // them explicitly.
+  const bool owns_hist = hist::env_enabled() && !hist::active();
+  if (owns_hist) {
+    hist::reset(config.npes);
+    hist::enable(true);
+  }
+
+  // Flight recorder: always armed (MFC_FLIGHT=0 disables) — it is the
+  // black box that survives a failure when MFC_TRACE is off. Children
+  // inherit the armed ring and dump independently.
+  flight::init(config.npes);
 
   const bool owns_region =
       config.iso_slots_per_pe > 0 && !iso::Region::initialized();
@@ -651,6 +756,15 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   g_machine->local_first = my_proc * ppn;
   g_machine->local_npes = ppn;
   g_machine->transport = transport.get();
+  // Stamp observability provenance with the post-fork identity: metrics
+  // snapshots record which process they came from, trace parts record the
+  // local PE range they own, the flight recorder names its dump file.
+  metrics::set_proc(my_proc, config.nprocs);
+  flight::set_proc(my_proc, config.nprocs);
+  if (trace::active()) {
+    trace::set_proc(my_proc, config.nprocs, g_machine->local_first,
+                    g_machine->local_npes);
+  }
   if (g_machine->ft_on) {
     MFC_CHECK_MSG(!config.mutex_baseline,
                   "FT hooks require the lock-free messaging path");
@@ -685,6 +799,9 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
     hooks.enqueue = [](Message* m) {
       Pe* dest = g_machine->pes[static_cast<std::size_t>(m->dest_pe)].get();
       MFC_CHECK_MSG(dest != nullptr, "wire delivery to a non-local PE");
+      // Queue-wait for wire arrivals measures local-queue residency only
+      // (stamps never cross processes; tsc domains may differ).
+      m->stamp = hist::on() ? rdtsc() : 0;
       dest->queue.push(m);
     };
     hooks.drop = [](Message* m) { drain_message(m); };
@@ -733,6 +850,39 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
         [](iso::SlotId id) { send_value(id.pe, h_iso_release, id); });
   }
 
+  // Wedge watchdog (MFC_WEDGE_MS=<n>, off by default): a per-process
+  // monitor thread that fires the flight recorder if the local message
+  // counters sit still for n ms while the machine is supposedly running.
+  // Each process polices itself, so a machine-wide wedge produces one
+  // black-box dump per process without any cross-process coordination.
+  std::atomic<bool> wedge_stop{false};
+  std::thread wedge;
+  long wedge_ms = 0;
+  if (const char* env = std::getenv("MFC_WEDGE_MS");
+      env != nullptr && *env != '\0') {
+    wedge_ms = std::strtol(env, nullptr, 10);
+  }
+  if (wedge_ms > 0) {
+    wedge = std::thread([&wedge_stop, wedge_ms] {
+      const auto poll = std::chrono::milliseconds(
+          wedge_ms / 4 > 50 ? 50 : (wedge_ms / 4 > 0 ? wedge_ms / 4 : 1));
+      std::uint64_t last = ~0ull;
+      auto last_move = std::chrono::steady_clock::now();
+      while (!wedge_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        const std::uint64_t cur = total_sent() + total_delivered();
+        const auto now = std::chrono::steady_clock::now();
+        if (cur != last) {
+          last = cur;
+          last_move = now;
+        } else if (now - last_move >= std::chrono::milliseconds(wedge_ms)) {
+          trace::flight::dump("wedge");
+          return;
+        }
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(g_machine->local_npes));
   for (int i = g_machine->local_first;
@@ -741,6 +891,11 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
                          std::cref(entry));
   }
   for (auto& t : threads) t.join();
+
+  if (wedge.joinable()) {
+    wedge_stop.store(true, std::memory_order_release);
+    wedge.join();
+  }
 
   if (transport) {
     transport->stop_local();
@@ -757,8 +912,15 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
     g_machine = nullptr;
     if (owns_chaos) chaos::uninstall();
     if (owns_trace) {
-      trace::stop_and_export(trace::env_file() + ".proc" +
+      // Binary part, not JSON: the parent merges every process's part into
+      // one clock-aligned timeline after it reaps the children.
+      trace::stop_and_export_part(trace::env_file() + ".part" +
+                                  std::to_string(my_proc));
+    }
+    if (owns_hist) {
+      hist::write_stats_json(hist::env_file() + ".proc" +
                              std::to_string(my_proc));
+      hist::enable(false);
     }
     MFC_CHECK_MSG(metrics::total(metrics::Counter::kMsgsAllocated) ==
                       metrics::total(metrics::Counter::kMsgsFreed),
@@ -782,7 +944,31 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
   g_machine = nullptr;
   if (owns_region) iso::Region::shutdown();
   if (owns_chaos) chaos::uninstall();
-  if (owns_trace) trace::stop_and_export(trace::env_file());
+  if (owns_trace) {
+    if (config.nprocs > 1) {
+      // Children already wrote their parts (reaped above). Write ours, then
+      // merge everything onto one skew-corrected timeline.
+      const std::string base = trace::env_file();
+      trace::stop_and_export_part(base + ".part0");
+      std::vector<std::string> parts;
+      parts.reserve(static_cast<std::size_t>(config.nprocs));
+      for (int p = 0; p < config.nprocs; ++p) {
+        parts.push_back(base + ".part" + std::to_string(p));
+      }
+      std::string err;
+      if (!trace::merge_parts(parts, base, &err)) {
+        MFC_LOG_WARN("trace merge failed: %s", err.c_str());
+      }
+    } else {
+      trace::stop_and_export(trace::env_file());
+    }
+  }
+  if (owns_hist) {
+    hist::write_stats_json(config.nprocs > 1
+                               ? hist::env_file() + ".proc0"
+                               : hist::env_file());
+    hist::enable(false);
+  }
 
   // The shutdown-leak invariant: every envelope this run allocated came
   // back through destroy_message — including messages still queued in peer
@@ -837,6 +1023,10 @@ void send_message(int dest_pe, HandlerId handler, Message* m) {
   if (trace::enabled() && m->src_pe >= 0 && m->src_pe != dest_pe) {
     m->trace_flow = trace::next_flow_id();
   }
+  // Queue-wait stamp, same per-send-assignment discipline as trace_flow
+  // (recycled envelopes carry stale stamps otherwise). Wire sends are
+  // re-stamped at the receiving process's enqueue hook.
+  m->stamp = hist::on() ? rdtsc() : 0;
   trace::emit(trace::Ev::kMsgSend, m->trace_flow, handler,
               static_cast<std::uint32_t>(m->payload.size()),
               static_cast<std::int16_t>(dest_pe));
@@ -925,6 +1115,7 @@ void send_spans(int dest_pe, HandlerId handler, const SendSpan* spans,
   m->src_pe = src;
   m->dest_pe = dest_pe;
   m->trace_flow = flow;
+  m->stamp = hist::on() ? rdtsc() : 0;
   enqueue_or_inline(dest_pe, m);
 }
 

@@ -117,6 +117,11 @@ struct Message {
   /// Trace flow id tying this send to its remote dispatch (0 = untraced or
   /// local; assigned per send, so recycling needs no cleanup).
   std::uint64_t trace_flow = 0;
+  /// Enqueue timestamp (rdtsc ticks) for the queue-wait latency histogram
+  /// (0 = unstamped; set per send only while hist::on(), so recycling needs
+  /// no cleanup). Never serialized — wire messages are re-stamped at the
+  /// receiving process's enqueue.
+  std::uint64_t stamp = 0;
 
   Payload payload;
 

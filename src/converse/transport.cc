@@ -17,6 +17,7 @@
 #include "converse/machine.h"
 #include "converse/shmring.h"
 #include "trace/metrics.h"
+#include "trace/trace.h"
 #include "util/check.h"
 
 namespace mfc::converse::transport {
@@ -25,6 +26,12 @@ namespace {
 
 using metrics::Counter;
 using wire::Kind;
+
+// Wire-span trace codes (Record.a of kWireSendBegin): which path carried
+// the message. The exporter names the span "wire-send:<code name>".
+constexpr std::uint32_t kTraceEager = 0;
+constexpr std::uint32_t kTraceChunk = 1;
+constexpr std::uint32_t kTraceRdv = 2;
 
 char* payload_ptr(Message* m) { return m->payload.data(); }
 
@@ -91,18 +98,24 @@ class ShmTransport final : public Transport {
     metrics::bump(Counter::kWireSentBytes, h.payload_len);
     if (h.payload_len <= limit) {
       h.kind = static_cast<std::uint32_t>(Kind::kEager);
+      trace::emit(trace::Ev::kWireSendBegin, h.trace_flow, kTraceEager, 0,
+                  static_cast<std::int16_t>(h.dest_pe));
       metrics::bump(Counter::kWireSentFrames);
       // Delayed publish: the frame's bytes are in the ring but invisible
       // until after on_consumed — the pack epilogue can evacuate the pages
       // the spans pointed into before the message can be delivered.
       if (!push_wait(rv, h, spans, n, /*publish=*/on_consumed == nullptr)) {
         if (on_consumed) on_consumed();
+        trace::emit(trace::Ev::kWireSendEnd);
         return;  // dropped post-stop
       }
       if (on_consumed) {
         on_consumed();
         rv.publish();
       }
+      trace::emit(trace::Ev::kWireSendEnd, 0, 0,
+                  static_cast<std::uint32_t>(h.payload_len +
+                                             sizeof(wire::Header)));
       return;
     }
     // Chunked: every piece fits half the ring; the final chunk's publish is
@@ -110,7 +123,10 @@ class ShmTransport final : public Transport {
     // complete at the consumer before on_consumed runs.
     h.kind = static_cast<std::uint32_t>(Kind::kChunk);
     h.total_len = hdr.payload_len;
+    trace::emit(trace::Ev::kWireSendBegin, h.trace_flow, kTraceChunk, 0,
+                static_cast<std::int16_t>(h.dest_pe));
     std::uint64_t off = 0;
+    std::uint64_t frames = 0;
     while (off < h.total_len) {
       const std::uint64_t len =
           h.total_len - off < limit ? h.total_len - off : limit;
@@ -120,9 +136,11 @@ class ShmTransport final : public Transport {
       h.payload_len = len;
       metrics::bump(Counter::kWireSentFrames);
       metrics::bump(Counter::kWireChunks);
+      ++frames;
       if (!push_wait(rv, h, sub.data(), sub.size(),
                      /*publish=*/!(last && on_consumed != nullptr))) {
         if (on_consumed) on_consumed();
+        trace::emit(trace::Ev::kWireSendEnd);
         return;  // dropped post-stop; partial assembly freed at teardown
       }
       if (last && on_consumed) {
@@ -131,6 +149,9 @@ class ShmTransport final : public Transport {
       }
       off += len;
     }
+    trace::emit(trace::Ev::kWireSendEnd, 0, 0,
+                static_cast<std::uint32_t>(h.total_len +
+                                           frames * sizeof(wire::Header)));
   }
 
   void send_proc_done(int src_pe) override {
@@ -189,7 +210,12 @@ class ShmTransport final : public Transport {
         }
         case Kind::kChunk: {
           Assembly& a = t->assembly_[static_cast<std::size_t>(slot)];
-          if (h.offset == 0) a.m = t->hooks_.alloc(h, h.total_len);
+          if (h.offset == 0) {
+            a.m = t->hooks_.alloc(h, h.total_len);
+            trace::emit(trace::Ev::kWireAsmBegin, h.trace_flow, 0,
+                        static_cast<std::uint32_t>(h.total_len),
+                        static_cast<std::int16_t>(h.src_pe));
+          }
           MFC_CHECK(a.m != nullptr);
           return payload_ptr(a.m) + h.offset;
         }
@@ -202,12 +228,19 @@ class ShmTransport final : public Transport {
       switch (static_cast<Kind>(h.kind)) {
         case Kind::kEager:
           metrics::bump(Counter::kWireDelivered);
+          trace::emit(trace::Ev::kWireDeliver, h.trace_flow, 0,
+                      static_cast<std::uint32_t>(h.payload_len),
+                      static_cast<std::int16_t>(h.src_pe));
           t->hooks_.enqueue(a.m);
           a.m = nullptr;
           break;
         case Kind::kChunk:
           if (h.offset + h.payload_len == h.total_len) {
             metrics::bump(Counter::kWireDelivered);
+            trace::emit(trace::Ev::kWireAsmEnd);
+            trace::emit(trace::Ev::kWireDeliver, h.trace_flow, 0,
+                        static_cast<std::uint32_t>(h.total_len),
+                        static_cast<std::int16_t>(h.src_pe));
             t->hooks_.enqueue(a.m);
             a.m = nullptr;
           }
@@ -249,6 +282,9 @@ class ShmTransport final : public Transport {
   }
 
   void comm_loop() {
+    // Comm-thread wire events (deliver, chunk assembly) land on the trace
+    // session's dedicated wire ring, not a PE ring.
+    trace::bind_comm();
     const int nslots = opt_.npes + 1;
     std::vector<Sink> sinks(static_cast<std::size_t>(nslots));
     for (int s = 0; s < nslots; ++s)
@@ -379,6 +415,8 @@ class SocketTransport final : public Transport {
         opt_.nprocs > 1 && h.payload_len > opt_.rendezvous_bytes;
     if (!rendezvous) {
       h.kind = static_cast<std::uint32_t>(Kind::kEager);
+      trace::emit(trace::Ev::kWireSendBegin, h.trace_flow, kTraceEager, 0,
+                  static_cast<std::int16_t>(h.dest_pe));
       metrics::bump(Counter::kWireSentFrames);
       if (on_consumed) {
         // Stage first so on_consumed runs before any byte can reach the
@@ -396,6 +434,9 @@ class SocketTransport final : public Transport {
         wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
         wire::write_frame(io, h, spans, n);
       }
+      trace::emit(trace::Ev::kWireSendEnd, 0, 0,
+                  static_cast<std::uint32_t>(h.payload_len +
+                                             sizeof(wire::Header)));
       return;
     }
     // Rendezvous: RTS → (receiver pre-sizes the landing payload) → CTS →
@@ -407,6 +448,8 @@ class SocketTransport final : public Transport {
     const std::uint64_t id =
         (static_cast<std::uint64_t>(my_proc_) << 48) |
         rdv_seq_.fetch_add(1, std::memory_order_relaxed);
+    trace::emit(trace::Ev::kWireSendBegin, h.trace_flow, kTraceRdv, 0,
+                static_cast<std::int16_t>(h.dest_pe));
     PendingSend ps;
     {
       std::lock_guard<std::mutex> lk(rdv_mu_);
@@ -422,6 +465,9 @@ class SocketTransport final : public Transport {
       wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
       wire::write_frame(io, rts, nullptr, 0);
     }
+    trace::emit(trace::Ev::kWireRts, id, 0,
+                static_cast<std::uint32_t>(h.payload_len),
+                static_cast<std::int16_t>(h.dest_pe));
     metrics::bump(Counter::kWireSentFrames);
     {
       std::unique_lock<std::mutex> lk(ps.mu);
@@ -440,11 +486,18 @@ class SocketTransport final : public Transport {
       data.msg_id = id;
       data.total_len = h.payload_len;
       metrics::bump(Counter::kWireSentFrames);
-      std::lock_guard<std::mutex> lk(send_mu_[dproc]);
-      wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
-      wire::write_frame(io, data, spans, n);
+      {
+        std::lock_guard<std::mutex> lk(send_mu_[dproc]);
+        wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
+        wire::write_frame(io, data, spans, n);
+      }
+      trace::emit(trace::Ev::kWireRdvDone, id, 0,
+                  static_cast<std::uint32_t>(h.payload_len));
     }
     if (on_consumed) on_consumed();
+    trace::emit(trace::Ev::kWireSendEnd, 0, 0,
+                static_cast<std::uint32_t>(h.payload_len +
+                                           3 * sizeof(wire::Header)));
   }
 
   void send_proc_done(int src_pe) override {
@@ -529,6 +582,9 @@ class SocketTransport final : public Transport {
         case Kind::kEager:
         case Kind::kData:
           metrics::bump(Counter::kWireDelivered);
+          trace::emit(trace::Ev::kWireDeliver, h.trace_flow, 0,
+                      static_cast<std::uint32_t>(h.payload_len),
+                      static_cast<std::int16_t>(h.src_pe));
           t->hooks_.enqueue(cur);
           cur = nullptr;
           break;
@@ -539,9 +595,14 @@ class SocketTransport final : public Transport {
           cts.kind = static_cast<std::uint32_t>(Kind::kCts);
           cts.msg_id = h.msg_id;
           const int sproc = h.src_pe / t->ppn_;
-          std::lock_guard<std::mutex> lk(t->send_mu_[sproc]);
-          wire::FdIo io(t->send_fd_[static_cast<std::size_t>(sproc)]);
-          wire::write_frame(io, cts, nullptr, 0);
+          {
+            std::lock_guard<std::mutex> lk(t->send_mu_[sproc]);
+            wire::FdIo io(t->send_fd_[static_cast<std::size_t>(sproc)]);
+            wire::write_frame(io, cts, nullptr, 0);
+          }
+          trace::emit(trace::Ev::kWireCts, h.msg_id, 0,
+                      static_cast<std::uint32_t>(h.total_len),
+                      static_cast<std::int16_t>(h.src_pe));
           break;
         }
         case Kind::kCts: {
@@ -567,6 +628,7 @@ class SocketTransport final : public Transport {
   };
 
   void comm_loop() {
+    trace::bind_comm();
     const std::size_t nfd = recv_.size();
     std::vector<wire::Reader> readers(nfd);
     std::vector<FdSink> sinks(nfd);

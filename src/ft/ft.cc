@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "converse/machine.h"
+#include "trace/flight.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 #include "ult/scheduler.h"
@@ -379,9 +380,10 @@ void commit_epoch() {
   s->async_inflight = false;
   metrics::bump(metrics::Counter::kFtCheckpoints);
   metrics::bump(metrics::Counter::kFtCheckpointBytes, s->ckpt_bytes);
-  trace::emit(trace::Ev::kFtCheckpointEnd, e, 0,
-              static_cast<std::uint32_t>(
-                  s->ckpt_bytes > 0xffffffffu ? 0xffffffffu : s->ckpt_bytes));
+  trace::emit_flight(trace::Ev::kFtCheckpointEnd, e, 0,
+                     static_cast<std::uint32_t>(s->ckpt_bytes > 0xffffffffu
+                                                    ? 0xffffffffu
+                                                    : s->ckpt_bytes));
   if (s->sync_waiter != nullptr) {
     ult::Thread* t = s->sync_waiter;
     s->sync_waiter = nullptr;
@@ -492,7 +494,9 @@ void tick() {
     s->victim = pe;
     s->detections.fetch_add(1, std::memory_order_relaxed);
     metrics::bump(metrics::Counter::kFtDetections);
-    trace::emit(trace::Ev::kFtDetect, 0, 0, 0, static_cast<std::int16_t>(pe));
+    trace::emit_flight(trace::Ev::kFtDetect, 0, 0, 0,
+                       static_cast<std::int16_t>(pe));
+    trace::flight::dump("ft-detect");
     if (s->hooks.on_detect) s->hooks.on_detect(pe);
     ult::spawn([] { recovery_main(); });
     break;  // single-failure model: one recovery at a time
@@ -586,8 +590,8 @@ void recovery_main() {
   FtState* s = g_state;
   const int v = s->victim;
   const int npes = s->npes;
-  trace::emit(trace::Ev::kFtRecoveryBegin, 0, 0, 0,
-              static_cast<std::int16_t>(v));
+  trace::emit_flight(trace::Ev::kFtRecoveryBegin, 0, 0, 0,
+                     static_cast<std::int16_t>(v));
   s->recoveries.fetch_add(1, std::memory_order_relaxed);
   metrics::bump(metrics::Counter::kFtRecoveries);
 
@@ -645,7 +649,7 @@ void recovery_main() {
   s->last_ping = now;
   s->victim = -1;
   s->recovering = false;
-  trace::emit(trace::Ev::kFtRecoveryEnd, s->epoch);
+  trace::emit_flight(trace::Ev::kFtRecoveryEnd, s->epoch);
 }
 
 // ---- Machine hooks ----------------------------------------------------------
@@ -714,7 +718,7 @@ std::uint64_t checkpoint_now(CkptMode mode) {
   MFC_CHECK_MSG(!s->recovering, "ft: checkpoint during recovery");
   if (s->async_inflight) checkpoint_sync();  // one epoch in flight at a time
   converse::wait_quiescence();
-  trace::emit(trace::Ev::kFtCheckpointBegin, s->epoch + 1);
+  trace::emit_flight(trace::Ev::kFtCheckpointBegin, s->epoch + 1);
   const std::uint64_t e = s->epoch + 1;
   s->pending_epoch = e;
   s->pending_mode = mode;
@@ -754,7 +758,10 @@ void kill_pe(int pe) {
   MFC_CHECK_MSG(s != nullptr, "ft: kill_pe without install");
   s->kills.fetch_add(1, std::memory_order_relaxed);
   metrics::bump(metrics::Counter::kFtKills);
-  trace::emit(trace::Ev::kFtKill, 0, 0, 0, static_cast<std::int16_t>(pe));
+  trace::emit_flight(trace::Ev::kFtKill, 0, 0, 0, static_cast<std::int16_t>(pe));
+  // Failure trigger: freeze and dump the flight recorder (first kill wins;
+  // the dump covers the run's recent history even with MFC_TRACE off).
+  trace::flight::dump("ft-kill");
   converse::kill_pe(pe);
 }
 

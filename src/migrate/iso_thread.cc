@@ -2,7 +2,10 @@
 
 #include <cstring>
 
+#include "trace/flight.h"
+#include "trace/hist.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace mfc::migrate {
 
@@ -32,6 +35,7 @@ void IsoThread::on_switch_out() { iso::set_current_heap(nullptr); }
 ImageManifest IsoThread::pack_manifest(bool count) {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
                 "pack_manifest() requires a suspended thread");
+  const std::uint64_t t0 = count && hist::on() ? rdtsc() : 0;
   iso::Region& region = iso::Region::instance();
 
   ImageManifest m;
@@ -60,12 +64,13 @@ ImageManifest IsoThread::pack_manifest(bool count) {
   }
 
   if (count) {
-    trace::emit(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
-                trace_tag(Technique::kIsomalloc));
+    trace::emit_flight(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
+                       trace_tag(Technique::kIsomalloc));
     metrics::bump(pack_counter(Technique::kIsomalloc));
-    trace::emit(trace::Ev::kMigratePackEnd, m.thread_id, 0,
-                static_cast<std::uint32_t>(m.payload_bytes()), -1,
-                trace_tag(Technique::kIsomalloc));
+    if (t0 != 0) hist::record(hist::Hist::kMigratePack, rdtsc() - t0);
+    trace::emit_flight(trace::Ev::kMigratePackEnd, m.thread_id, 0,
+                       static_cast<std::uint32_t>(m.payload_bytes()), -1,
+                       trace_tag(Technique::kIsomalloc));
   }
   return m;
 }
@@ -83,16 +88,18 @@ void IsoThread::complete_pack() {
 }
 
 ThreadImage IsoThread::pack() {
-  trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
-              trace_tag(Technique::kIsomalloc));
+  trace::emit_flight(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
+                     trace_tag(Technique::kIsomalloc));
   metrics::bump(pack_counter(Technique::kIsomalloc));
+  const std::uint64_t t0 = hist::on() ? rdtsc() : 0;
   ThreadImage image = image_from_manifest(pack_manifest(false));
   complete_pack();
+  if (t0 != 0) hist::record(hist::Hist::kMigratePack, rdtsc() - t0);
   std::size_t wire = 0;
   for (const std::vector<char>& run : image.slot_data) wire += run.size();
-  trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,
-              static_cast<std::uint32_t>(wire), -1,
-              trace_tag(Technique::kIsomalloc));
+  trace::emit_flight(trace::Ev::kMigratePackEnd, image.thread_id, 0,
+                     static_cast<std::uint32_t>(wire), -1,
+                     trace_tag(Technique::kIsomalloc));
   return image;
 }
 

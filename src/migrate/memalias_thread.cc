@@ -6,7 +6,10 @@
 
 #include <cstring>
 
+#include "trace/flight.h"
+#include "trace/hist.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace mfc::migrate {
 
@@ -72,6 +75,7 @@ void MemAliasThread::on_switch_out() {
 ImageManifest MemAliasThread::pack_manifest(bool count) {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
                 "pack_manifest() requires a suspended thread");
+  const std::uint64_t t0 = count && hist::on() ? rdtsc() : 0;
   CommonStackArena& arena = CommonStackArena::instance();
   ImageManifest m;
   m.technique = Technique::kMemAlias;
@@ -89,12 +93,13 @@ ImageManifest MemAliasThread::pack_manifest(bool count) {
   MFC_CHECK(r == static_cast<ssize_t>(stack_bytes_));
   m.stack_run = {m.staged.data(), m.staged.size()};
   if (count) {
-    trace::emit(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
-                trace_tag(Technique::kMemAlias));
+    trace::emit_flight(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
+                       trace_tag(Technique::kMemAlias));
     metrics::bump(pack_counter(Technique::kMemAlias));
-    trace::emit(trace::Ev::kMigratePackEnd, m.thread_id, 0,
-                static_cast<std::uint32_t>(m.stack_run.len), -1,
-                trace_tag(Technique::kMemAlias));
+    if (t0 != 0) hist::record(hist::Hist::kMigratePack, rdtsc() - t0);
+    trace::emit_flight(trace::Ev::kMigratePackEnd, m.thread_id, 0,
+                       static_cast<std::uint32_t>(m.stack_run.len), -1,
+                       trace_tag(Technique::kMemAlias));
   }
   return m;
 }
@@ -108,14 +113,16 @@ void MemAliasThread::complete_pack() {
 }
 
 ThreadImage MemAliasThread::pack() {
-  trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
-              trace_tag(Technique::kMemAlias));
+  trace::emit_flight(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
+                     trace_tag(Technique::kMemAlias));
   metrics::bump(pack_counter(Technique::kMemAlias));
+  const std::uint64_t t0 = hist::on() ? rdtsc() : 0;
   ThreadImage image = image_from_manifest(pack_manifest(false));
   complete_pack();
-  trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,
-              static_cast<std::uint32_t>(image.stack_bytes.size()), -1,
-              trace_tag(Technique::kMemAlias));
+  if (t0 != 0) hist::record(hist::Hist::kMigratePack, rdtsc() - t0);
+  trace::emit_flight(trace::Ev::kMigratePackEnd, image.thread_id, 0,
+                     static_cast<std::uint32_t>(image.stack_bytes.size()), -1,
+                     trace_tag(Technique::kMemAlias));
   return image;
 }
 

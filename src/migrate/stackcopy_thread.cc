@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/flight.h"
+#include "trace/hist.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace mfc::migrate {
 
@@ -58,6 +61,7 @@ void StackCopyThread::on_switch_out() {
 ImageManifest StackCopyThread::pack_manifest(bool count) {
   MFC_CHECK_MSG(state() == ult::State::kSuspended,
                 "pack_manifest() requires a suspended thread");
+  const std::uint64_t t0 = count && hist::on() ? rdtsc() : 0;
   CommonStackArena& arena = CommonStackArena::instance();
   ImageManifest m;
   m.technique = Technique::kStackCopy;
@@ -70,25 +74,28 @@ ImageManifest StackCopyThread::pack_manifest(bool count) {
   m.stack_capacity = stack_bytes_;
   m.arena_base = reinterpret_cast<std::uint64_t>(arena.base());
   if (count) {
-    trace::emit(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
-                trace_tag(Technique::kStackCopy));
+    trace::emit_flight(trace::Ev::kMigratePackBegin, m.thread_id, 0, 0, -1,
+                       trace_tag(Technique::kStackCopy));
     metrics::bump(pack_counter(Technique::kStackCopy));
-    trace::emit(trace::Ev::kMigratePackEnd, m.thread_id, 0,
-                static_cast<std::uint32_t>(m.stack_run.len), -1,
-                trace_tag(Technique::kStackCopy));
+    if (t0 != 0) hist::record(hist::Hist::kMigratePack, rdtsc() - t0);
+    trace::emit_flight(trace::Ev::kMigratePackEnd, m.thread_id, 0,
+                       static_cast<std::uint32_t>(m.stack_run.len), -1,
+                       trace_tag(Technique::kStackCopy));
   }
   return m;
 }
 
 ThreadImage StackCopyThread::pack() {
-  trace::emit(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
-              trace_tag(Technique::kStackCopy));
+  trace::emit_flight(trace::Ev::kMigratePackBegin, id(), 0, 0, -1,
+                     trace_tag(Technique::kStackCopy));
   metrics::bump(pack_counter(Technique::kStackCopy));
+  const std::uint64_t t0 = hist::on() ? rdtsc() : 0;
   ThreadImage image = image_from_manifest(pack_manifest(false));
   complete_pack();
-  trace::emit(trace::Ev::kMigratePackEnd, image.thread_id, 0,
-              static_cast<std::uint32_t>(image.stack_bytes.size()), -1,
-              trace_tag(Technique::kStackCopy));
+  if (t0 != 0) hist::record(hist::Hist::kMigratePack, rdtsc() - t0);
+  trace::emit_flight(trace::Ev::kMigratePackEnd, image.thread_id, 0,
+                     static_cast<std::uint32_t>(image.stack_bytes.size()), -1,
+                     trace_tag(Technique::kStackCopy));
   return image;
 }
 

@@ -1,0 +1,206 @@
+#include "trace/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "trace/export_internal.h"
+#include "util/timer.h"
+
+namespace mfc::trace::flight {
+
+namespace detail {
+std::atomic<bool> g_fl_on{false};
+}
+
+namespace {
+
+struct Entry {
+  Record r;
+  std::int16_t pe = -1;
+};
+
+struct Recorder {
+  std::mutex mu;
+  std::vector<Entry> buf;
+  std::uint64_t head = 0;  ///< monotonic; masked on use (cap is power of 2)
+  std::uint64_t mask = 0;
+  int npes = 0;
+  int proc = 0;
+  int nprocs = 1;
+  TscAnchor anchor;
+  bool dumped = false;
+  std::string dump_path;
+};
+
+Recorder* g_rec = nullptr;
+std::mutex g_rec_mu;  ///< guards g_rec swap in init() vs dump()
+
+thread_local int t_pe = -1;
+
+constexpr std::size_t kDefaultCap = 1024;
+
+std::size_t env_cap() {
+  if (const char* env = std::getenv("MFC_FLIGHT_CAP");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return kDefaultCap;
+}
+
+}  // namespace
+
+namespace detail {
+
+void note_slow(Ev ev, std::uint64_t arg, std::uint32_t a, std::uint32_t size,
+               std::int16_t b, std::uint8_t c) {
+  Recorder* rec = g_rec;
+  if (rec == nullptr) return;
+  Entry e;
+  e.r.tsc = rdtsc();  // rare events: always a fresh edge
+  e.r.arg = arg;
+  e.r.a = a;
+  e.r.size = size;
+  e.r.b = b;
+  e.r.ev = static_cast<std::uint8_t>(ev);
+  e.r.c = c;
+  e.pe = t_pe;
+  std::lock_guard<std::mutex> lock(rec->mu);
+  if (!g_fl_on.load(std::memory_order_relaxed)) return;  // froze while we
+                                                         // raced here
+  rec->buf[rec->head & rec->mask] = e;
+  ++rec->head;
+}
+
+}  // namespace detail
+
+bool env_enabled() {
+  const char* env = std::getenv("MFC_FLIGHT");
+  return env == nullptr || *env == '\0' || std::strcmp(env, "0") != 0;
+}
+
+std::string env_file() {
+  const char* env = std::getenv("MFC_FLIGHT_FILE");
+  return (env != nullptr && *env != '\0') ? env : "mfc_flight";
+}
+
+void init(int npes, std::size_t cap) {
+  std::lock_guard<std::mutex> swap_lock(g_rec_mu);
+  detail::g_fl_on = false;
+  delete g_rec;
+  g_rec = nullptr;
+  if (!env_enabled()) return;
+  if (cap == 0) cap = env_cap();
+  std::size_t pow2 = 8;
+  while (pow2 < cap) pow2 <<= 1;
+  auto* rec = new Recorder;
+  rec->buf.resize(pow2);
+  rec->mask = pow2 - 1;
+  rec->npes = npes;
+  rec->anchor = TscAnchor::now();
+  g_rec = rec;
+  detail::g_fl_on = true;
+}
+
+void set_proc(int proc, int nprocs) {
+  Recorder* rec = g_rec;
+  if (rec == nullptr) return;
+  rec->proc = proc;
+  rec->nprocs = nprocs < 1 ? 1 : nprocs;
+}
+
+void bind_pe(int pe) { t_pe = static_cast<std::int16_t>(pe); }
+
+void unbind_pe() { t_pe = -1; }
+
+bool dump(const char* reason) {
+  std::lock_guard<std::mutex> swap_lock(g_rec_mu);
+  Recorder* rec = g_rec;
+  if (rec == nullptr) return false;
+  std::vector<Entry> entries;
+  int npes, proc, nprocs;
+  TscAnchor anchor;
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    if (rec->dumped) return false;  // first trigger wins
+    rec->dumped = true;
+    detail::g_fl_on = false;  // freeze: no notes past this point
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(rec->head, rec->buf.size());
+    entries.reserve(retained);
+    for (std::uint64_t i = rec->head - retained; i < rec->head; ++i) {
+      entries.push_back(rec->buf[i & rec->mask]);
+    }
+    npes = rec->npes;
+    proc = rec->proc;
+    nprocs = rec->nprocs;
+    anchor = rec->anchor;
+  }
+  // Group chronological entries into per-PE tracks (+ "other" for unbound
+  // threads); stable per-track order preserves the B/E nesting.
+  std::map<int, internal::Track> tracks;
+  for (const Entry& e : entries) {
+    const int tid = e.pe >= 0 ? e.pe : npes + 1;
+    internal::Track& t = tracks[tid];
+    if (t.recs.empty()) {
+      t.tid = tid;
+      char name[32];
+      if (tid == npes) {
+        std::snprintf(name, sizeof(name), "wire");
+      } else if (tid == npes + 1) {
+        std::snprintf(name, sizeof(name), "other");
+      } else {
+        std::snprintf(name, sizeof(name), "PE %d", tid);
+      }
+      t.name = name;
+    }
+    t.recs.push_back(e.r);
+  }
+  std::vector<internal::Track> flat;
+  flat.reserve(tracks.size());
+  for (auto& [tid, t] : tracks) flat.push_back(std::move(t));
+
+  std::string path = env_file();
+  if (nprocs > 1) path += ".proc" + std::to_string(proc);
+  path += ".json";
+  char pname[48];
+  std::snprintf(pname, sizeof(pname), "mfc flight proc %d", proc);
+  std::vector<std::pair<std::string, std::string>> meta;
+  meta.emplace_back("reason", reason != nullptr ? reason : "?");
+  meta.emplace_back("proc", std::to_string(proc));
+  meta.emplace_back("nprocs", std::to_string(nprocs));
+  meta.emplace_back("records", std::to_string(entries.size()));
+  const double npt = anchor.ns_per_tick(TscAnchor::now());
+  const bool ok = internal::write_tracks_json(
+      path, proc, nprocs > 1 ? pname : "mfc flight", flat, anchor.tsc, npt,
+      meta);
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->dump_path = ok ? path : "";
+  }
+  return ok;
+}
+
+bool dumped() {
+  Recorder* rec = g_rec;
+  if (rec == nullptr) return false;
+  std::lock_guard<std::mutex> lock(rec->mu);
+  return rec->dumped;
+}
+
+std::string last_dump_path() {
+  Recorder* rec = g_rec;
+  if (rec == nullptr) return "";
+  std::lock_guard<std::mutex> lock(rec->mu);
+  return rec->dump_path;
+}
+
+}  // namespace mfc::trace::flight

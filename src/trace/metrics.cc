@@ -18,6 +18,8 @@ struct alignas(64) Slot {
 std::unique_ptr<Slot[]> g_slots;
 int g_npes = 0;
 std::atomic<std::uint64_t> g_epoch{0};
+int g_proc = 0;
+int g_nprocs = 1;
 
 thread_local Slot* t_slot = nullptr;
 thread_local std::uint64_t t_slot_epoch = 0;
@@ -94,6 +96,15 @@ void bind_pe(int pe) {
 
 void unbind_pe() { t_slot = nullptr; }
 
+void set_proc(int proc, int nprocs) {
+  g_proc = proc < 0 ? 0 : proc;
+  g_nprocs = nprocs < 1 ? 1 : nprocs;
+}
+
+int proc() { return g_proc; }
+
+int nprocs() { return g_nprocs; }
+
 void bump(Counter c, std::uint64_t n) {
   const int i = static_cast<int>(c);
   if (Slot* s = bound_slot()) {
@@ -131,11 +142,17 @@ Snapshot Snapshot::diff(const Snapshot& since) const {
   for (int i = 0; i < kCounterCount; ++i) {
     out.v[i] = v[i] >= since.v[i] ? v[i] - since.v[i] : 0;
   }
+  out.proc = proc;
+  out.nprocs = nprocs;
+  out.procs = procs;
   return out;
 }
 
 void Snapshot::merge(const Snapshot& other) {
   for (int i = 0; i < kCounterCount; ++i) v[i] += other.v[i];
+  procs |= other.procs;
+  if (other.nprocs > nprocs) nprocs = other.nprocs;
+  if (other.proc != proc) proc = -1;  // mixed provenance: no single owner
 }
 
 Snapshot snapshot() {
@@ -143,6 +160,9 @@ Snapshot snapshot() {
   for (int i = 0; i < kCounterCount; ++i) {
     out.v[i] = total(static_cast<Counter>(i));
   }
+  out.proc = g_proc;
+  out.nprocs = g_nprocs;
+  out.procs = g_proc < 64 ? (std::uint64_t{1} << g_proc) : 0;
   return out;
 }
 

@@ -81,6 +81,13 @@ int npes();
 void bind_pe(int pe);
 void unbind_pe();
 
+/// Declares this process's place in a multi-process machine. Machine::run
+/// calls it post-fork (and resets to 0/1 for single-process runs); every
+/// snapshot taken afterwards carries the proc id as provenance.
+void set_proc(int proc, int nprocs);
+int proc();
+int nprocs();
+
 /// Increments `c` by `n`: single-writer store on the bound PE slot, shared
 /// fetch_add otherwise. Drops silently before the first reset.
 void bump(Counter c, std::uint64_t n = 1);
@@ -95,13 +102,23 @@ std::uint64_t pe_value(Counter c, int pe);
 /// and the storm driver use instead of scraping layer-private globals.
 struct Snapshot {
   std::uint64_t v[kCounterCount] = {};
+  // Provenance: which process(es) these values came from. A fresh snapshot
+  // covers exactly one process (`proc`; its bit set in `procs`). merge()
+  // unions the masks and collapses `proc` to -1 when the sources differ,
+  // so a merged multi-process snapshot is an explicit union across procs
+  // instead of silently summing into one fake proc-0 view — and merging
+  // the same process twice is detectable (`procs` unchanged).
+  int proc = 0;
+  int nprocs = 1;
+  std::uint64_t procs = 1;  ///< bitmask of contributing proc ids (proc ≤ 63)
 
   std::uint64_t operator[](Counter c) const {
     return v[static_cast<int>(c)];
   }
   /// Counter deltas since `since` (per-counter saturating at 0).
   Snapshot diff(const Snapshot& since) const;
-  /// Element-wise accumulate (merging snapshots from separate runs).
+  /// Element-wise accumulate (merging snapshots from separate runs or,
+  /// with distinct provenance, from the processes of one machine run).
   void merge(const Snapshot& other);
 };
 

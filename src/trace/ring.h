@@ -42,6 +42,14 @@ enum class Ev : std::uint8_t {
   kFtDetect,            ///< failure detector fired (b=victim pe)
   kFtRecoveryBegin,     ///< recovery coordinator started (b=victim pe)
   kFtRecoveryEnd,       ///< rollback complete, machine resumed (arg=epoch)
+  kWireSendBegin,       ///< transport send entered (arg=flow, a=kind, b=dest pe)
+  kWireSendEnd,         ///< transport send returned (size=wire bytes)
+  kWireDeliver,         ///< comm thread enqueued an arrival (arg=flow, b=src pe)
+  kWireAsmBegin,        ///< chunk reassembly started (arg=msg id, size=total)
+  kWireAsmEnd,          ///< last chunk landed; message deliverable
+  kWireRts,             ///< rendezvous RTS issued (arg=rdv id, b=dest pe)
+  kWireCts,             ///< rendezvous CTS sent back (arg=rdv id)
+  kWireRdvDone,         ///< rendezvous payload written span-direct (size=bytes)
   kCount,
 };
 constexpr int kEvCount = static_cast<int>(Ev::kCount);

@@ -1,5 +1,6 @@
 #include "trace/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include <mutex>
 #include <vector>
 
+#include "trace/export_internal.h"
 #include "util/check.h"
 #include "util/digest.h"
 
@@ -29,12 +31,24 @@ namespace {
 constexpr std::size_t kDefaultRingCap = std::size_t{1} << 13;
 
 struct Session {
+  // rings[0..npes-1] are the PE rings; rings[npes] is the wire ring the
+  // transport comm thread binds (bind_comm).
   std::vector<std::unique_ptr<Ring>> rings;
+  int npes = 0;
   // rdtsc ↔ steady_clock calibration samples. ns_per_tick is computed once
   // at stop from (steady elapsed / tsc elapsed) — one long baseline beats
-  // a short warm-up measurement.
+  // a short warm-up measurement. mono0_ns anchors this process's timeline
+  // on the machine-shared monotonic clock so parts from forked processes
+  // merge onto one axis.
   std::uint64_t tsc0 = 0;
   std::chrono::steady_clock::time_point wall0;
+  std::int64_t mono0_ns = 0;
+  // Multi-process placement (set_proc) + handshake skew (set_clock_skew).
+  int proc = 0;
+  int nprocs = 1;
+  int local_first = 0;
+  int local_npes = 0;  // 0 ⇒ set_proc never called: all rings are local
+  std::int64_t skew_ns = 0;
   std::map<std::string, std::string> meta;
   std::mutex meta_mu;
 };
@@ -56,7 +70,7 @@ std::size_t env_ring_cap() {
 
 Summary summarize(const Session& s) {
   Summary out;
-  out.npes = static_cast<int>(s.rings.size());
+  out.npes = s.npes;
   for (const auto& ring : s.rings) {
     for (int e = 0; e < kEvCount; ++e) {
       out.by_type[e] += ring->count(static_cast<Ev>(e));
@@ -106,13 +120,18 @@ class JsonWriter {
  public:
   explicit JsonWriter(std::FILE* f) : f_(f) {}
 
+  /// Process (track group) for subsequent events. Single-process exports
+  /// stay at pid 0; the multi-process merge sets the originating proc id
+  /// so each process renders as its own Perfetto track group.
+  void set_pid(int pid) { pid_ = pid; }
+
   /// Starts one trace event object; follow with field() calls + done().
   void event(const char* name, char phase, int tid, std::uint64_t ts_ns) {
     std::string esc;
     json_escape(esc, name);
-    std::fprintf(f_, "%s{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":0,\"tid\":%d,"
+    std::fprintf(f_, "%s{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,"
                  "\"ts\":%llu.%03llu",
-                 first_ ? "" : ",\n", esc.c_str(), phase, tid,
+                 first_ ? "" : ",\n", esc.c_str(), phase, pid_, tid,
                  static_cast<unsigned long long>(ts_ns / 1000),
                  static_cast<unsigned long long>(ts_ns % 1000));
     first_ = false;
@@ -138,6 +157,7 @@ class JsonWriter {
 
  private:
   std::FILE* f_;
+  int pid_ = 0;
   bool first_ = true;
 };
 
@@ -150,21 +170,37 @@ const char* technique_name(std::uint8_t c) {
   return "?";
 }
 
-/// Per-PE export pass. Records are already chronological (single writer,
-/// monotonic per-core rdtsc); a per-track clamp keeps B/E sane if the
-/// kernel migrated the PE thread across cores with unsynced TSCs.
-void export_ring(JsonWriter& w, const Ring& ring, std::uint64_t tsc0,
-                 double ns_per_tick) {
-  const int tid = ring.pe();
+const char* wire_kind_name(std::uint32_t k) {
+  switch (k) {
+    case 0: return "eager";
+    case 1: return "chunk";
+    case 2: return "rdv";
+  }
+  return "?";
+}
+
+/// Rendezvous flow ids share the message-flow id space but are namespaced
+/// into their own high-bit prefix so an RTS→CTS→writev chain never
+/// collides with the payload message's own send→deliver→dispatch chain.
+constexpr std::uint64_t kRdvFlowBit = std::uint64_t{1} << 62;
+
+/// Per-track export pass over one ring's retained records. Records are
+/// already chronological (single writer, monotonic per-core rdtsc); a
+/// per-track clamp keeps B/E sane if the kernel migrated the PE thread
+/// across cores with unsynced TSCs. `base_ns` offsets the whole track —
+/// the multi-process merge aligns each part's monotonic anchor there.
+void export_records(JsonWriter& w, const Record* recs, std::size_t n,
+                    int tid, std::uint64_t tsc0, double ns_per_tick,
+                    std::uint64_t base_ns) {
   std::vector<std::string> open;  // names of open B slices, innermost last
-  std::uint64_t last_ns = 0;
+  std::uint64_t last_ns = base_ns;
   char name[64];
 
   auto to_ns = [&](std::uint64_t tsc) {
     double ns = tsc >= tsc0
                     ? static_cast<double>(tsc - tsc0) * ns_per_tick
                     : 0.0;
-    auto v = static_cast<std::uint64_t>(ns < 0.0 ? 0.0 : ns);
+    auto v = base_ns + static_cast<std::uint64_t>(ns < 0.0 ? 0.0 : ns);
     if (v < last_ns) v = last_ns;  // keep each track monotonic
     last_ns = v;
     return v;
@@ -183,8 +219,8 @@ void export_ring(JsonWriter& w, const Ring& ring, std::uint64_t tsc0,
     return true;
   };
 
-  for (std::size_t i = 0; i < ring.size(); ++i) {
-    const Record& r = ring.at(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Record& r = recs[i];
     const std::uint64_t ns = to_ns(r.tsc);
     switch (static_cast<Ev>(r.ev)) {
       case Ev::kHandlerBegin:
@@ -385,6 +421,87 @@ void export_ring(JsonWriter& w, const Ring& ring, std::uint64_t tsc0,
         w.args_end();
         w.done();
         break;
+      case Ev::kWireSendBegin:
+        std::snprintf(name, sizeof(name), "wire-send:%s",
+                      wire_kind_name(r.a));
+        begin(name, ns);
+        w.args_begin();
+        w.arg_num("dest", r.b, true);
+        w.args_end();
+        w.done();
+        if (r.arg != 0) {  // the message's flow passes through this span
+          w.event("msg", 't', tid, ns);
+          w.raw("cat", "\"flow\"");
+          w.id(r.arg);
+          w.done();
+        }
+        break;
+      case Ev::kWireSendEnd:
+        std::snprintf(name, sizeof(name), "wire-send:%s",
+                      wire_kind_name(r.a));
+        if (end(name, ns)) {
+          w.args_begin();
+          w.arg_num("bytes", r.size, true);
+          w.args_end();
+          w.done();
+        }
+        break;
+      case Ev::kWireDeliver:
+        w.event("wire-deliver", 'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.args_begin();
+        w.arg_num("bytes", r.size, true);
+        if (r.b >= 0) w.arg_num("src", r.b);
+        w.args_end();
+        w.done();
+        if (r.arg != 0) {  // flow step: send → (wire deliver) → dispatch
+          w.event("msg", 't', tid, ns);
+          w.raw("cat", "\"flow\"");
+          w.id(r.arg);
+          w.done();
+        }
+        break;
+      case Ev::kWireAsmBegin:
+        begin("wire-chunk-asm", ns);
+        w.args_begin();
+        w.arg_num("msg", static_cast<long long>(r.arg), true);
+        w.arg_num("total", r.size);
+        w.args_end();
+        w.done();
+        break;
+      case Ev::kWireAsmEnd:
+        if (end("wire-chunk-asm", ns)) {
+          w.args_begin();
+          w.arg_num("bytes", r.size, true);
+          w.args_end();
+          w.done();
+        }
+        break;
+      case Ev::kWireRts:
+      case Ev::kWireCts:
+      case Ev::kWireRdvDone: {
+        const Ev ev = static_cast<Ev>(r.ev);
+        w.event(ev == Ev::kWireRts ? "wire-rts"
+                : ev == Ev::kWireCts ? "wire-cts" : "wire-rdv-done",
+                'i', tid, ns);
+        w.raw("s", "\"t\"");
+        w.args_begin();
+        w.arg_num("rdv", static_cast<long long>(r.arg), true);
+        if (r.size != 0) w.arg_num("bytes", r.size);
+        if (r.b >= 0) w.arg_num("peer", r.b);
+        w.args_end();
+        w.done();
+        // RTS starts the rendezvous flow, CTS is its step on the peer's
+        // wire track, the span-direct writev finishes it back home.
+        w.event("rdv", ev == Ev::kWireRts ? 's'
+                       : ev == Ev::kWireCts ? 't' : 'f',
+                tid, ns);
+        w.raw("cat", "\"rdv\"");
+        if (ev == Ev::kWireRdvDone) w.raw("bp", "\"e\"");
+        w.id(kRdvFlowBit | r.arg);
+        w.done();
+        break;
+      }
       case Ev::kCount:
         break;
     }
@@ -395,6 +512,31 @@ void export_ring(JsonWriter& w, const Ring& ring, std::uint64_t tsc0,
     w.done();
     open.pop_back();
   }
+}
+
+/// Copies a ring's retained records into chronological order (the ring's
+/// storage wraps; exports and parts want a flat oldest-first run).
+std::vector<Record> flatten(const Ring& ring) {
+  std::vector<Record> out;
+  out.reserve(ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) out.push_back(ring.at(i));
+  return out;
+}
+
+/// Track (tid) label: PE rings are "PE n"; the extra comm-thread ring is
+/// the process's "wire" track.
+void write_thread_name(JsonWriter& w, std::FILE* f, int tid, int npes) {
+  char tname[32];
+  if (tid == npes) {
+    std::snprintf(tname, sizeof(tname), "\"wire\"");
+  } else {
+    std::snprintf(tname, sizeof(tname), "\"PE %d\"", tid);
+  }
+  w.event("thread_name", 'M', tid, 0);
+  w.args_begin();
+  std::fprintf(f, "\"name\":%s", tname);
+  w.args_end();
+  w.done();
 }
 
 bool export_json(Session& s, const std::string& path, double ns_per_tick,
@@ -409,16 +551,15 @@ bool export_json(Session& s, const std::string& path, double ns_per_tick,
   w.args_end();
   w.done();
   for (const auto& ring : s.rings) {
-    char pe_name[32];
-    std::snprintf(pe_name, sizeof(pe_name), "\"PE %d\"", ring->pe());
-    w.event("thread_name", 'M', ring->pe(), 0);
-    w.args_begin();
-    std::fprintf(f, "\"name\":%s", pe_name);
-    w.args_end();
-    w.done();
+    // The wire track only exists when a wire transport ran (loopback or
+    // multi-process); keep single-process traces byte-stable otherwise.
+    if (ring->pe() == s.npes && ring->size() == 0) continue;
+    write_thread_name(w, f, ring->pe(), s.npes);
   }
   for (const auto& ring : s.rings) {
-    export_ring(w, *ring, s.tsc0, ns_per_tick);
+    const std::vector<Record> recs = flatten(*ring);
+    export_records(w, recs.data(), recs.size(), ring->pe(), s.tsc0,
+                   ns_per_tick, 0);
   }
   std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{");
   std::fprintf(f, "\"npes\":\"%d\",\"emitted\":\"%llu\",\"dropped\":\"%llu\"",
@@ -438,6 +579,159 @@ bool export_json(Session& s, const std::string& path, double ns_per_tick,
   bool ok = std::ferror(f) == 0;
   if (std::fclose(f) != 0) ok = false;
   return ok;
+}
+
+// ---- binary trace parts (multi-process merge) ----------------------------
+//
+// A part is one process's share of a machine run: the raw 32-byte records
+// of its local PE rings + wire ring, plus everything needed to place them
+// on a machine-global time axis — the pre-fork rdtsc/monotonic anchor,
+// this process's tick-rate calibration, and the handshake skew estimate.
+// Same-host binary (written and read on one machine), so the structs are
+// fwritten directly; magic+version reject foreign or stale files.
+
+constexpr char kPartMagic[8] = {'M', 'F', 'C', 'P', 'A', 'R', 'T', '1'};
+
+struct PartHead {
+  char magic[8];
+  std::uint32_t version;
+  std::int32_t proc;
+  std::int32_t nprocs;
+  std::int32_t npes;
+  std::int32_t nrings;
+  std::int32_t meta_count;
+  std::uint32_t pad0;
+  std::uint32_t pad1;
+  std::uint64_t tsc0;
+  std::int64_t mono0_ns;
+  std::int64_t skew_ns;
+  double ns_per_tick;
+  std::uint64_t emitted;
+  std::uint64_t dropped;
+};
+static_assert(sizeof(PartHead) == 88, "part header is fixed-layout");
+
+struct PartRingHead {
+  std::int32_t pe;
+  std::uint32_t nrecords;
+};
+static_assert(sizeof(PartRingHead) == 8, "ring header is fixed-layout");
+
+bool write_part(Session& s, const std::string& path, double ns_per_tick,
+                const Summary& summary) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  // A part carries only the rings this process wrote: its local PE range
+  // (everything when set_proc was never called) plus a non-empty wire ring.
+  const int lo = s.local_npes > 0 ? s.local_first : 0;
+  const int hi = s.local_npes > 0 ? s.local_first + s.local_npes : s.npes;
+  std::vector<const Ring*> rings;
+  for (const auto& r : s.rings) {
+    const int pe = r->pe();
+    if (pe == s.npes) {
+      if (r->size() > 0) rings.push_back(r.get());
+    } else if (pe >= lo && pe < hi) {
+      rings.push_back(r.get());
+    }
+  }
+  PartHead h{};
+  std::memcpy(h.magic, kPartMagic, sizeof(h.magic));
+  h.version = 1;
+  h.proc = s.proc;
+  h.nprocs = s.nprocs;
+  h.npes = s.npes;
+  h.nrings = static_cast<std::int32_t>(rings.size());
+  h.tsc0 = s.tsc0;
+  h.mono0_ns = s.mono0_ns;
+  h.skew_ns = s.skew_ns;
+  h.ns_per_tick = ns_per_tick;
+  h.emitted = summary.emitted;
+  h.dropped = summary.dropped;
+  std::map<std::string, std::string> meta;
+  {
+    std::lock_guard<std::mutex> lock(s.meta_mu);
+    meta = s.meta;
+  }
+  h.meta_count = static_cast<std::int32_t>(meta.size());
+  bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
+  for (const auto& [key, value] : meta) {
+    const std::uint32_t klen = static_cast<std::uint32_t>(key.size());
+    const std::uint32_t vlen = static_cast<std::uint32_t>(value.size());
+    ok = ok && std::fwrite(&klen, sizeof(klen), 1, f) == 1;
+    ok = ok && std::fwrite(&vlen, sizeof(vlen), 1, f) == 1;
+    ok = ok && (klen == 0 || std::fwrite(key.data(), 1, klen, f) == klen);
+    ok = ok && (vlen == 0 || std::fwrite(value.data(), 1, vlen, f) == vlen);
+  }
+  for (const Ring* r : rings) {
+    const std::vector<Record> recs = flatten(*r);
+    PartRingHead rh{r->pe(), static_cast<std::uint32_t>(recs.size())};
+    ok = ok && std::fwrite(&rh, sizeof(rh), 1, f) == 1;
+    ok = ok && (recs.empty() ||
+                std::fwrite(recs.data(), sizeof(Record), recs.size(), f) ==
+                    recs.size());
+  }
+  if (std::ferror(f) != 0) ok = false;
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
+}
+
+struct LoadedRing {
+  int pe = 0;
+  std::vector<Record> recs;
+};
+
+struct LoadedPart {
+  PartHead head{};
+  std::map<std::string, std::string> meta;
+  std::vector<LoadedRing> rings;
+};
+
+bool read_part(const std::string& path, LoadedPart& out, std::string* err) {
+  auto fail = [&](const std::string& what) {
+    if (err != nullptr) *err = path + ": " + what;
+    return false;
+  };
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("cannot open");
+  auto closer = std::unique_ptr<std::FILE, int (*)(std::FILE*)>(f, &std::fclose);
+  if (std::fread(&out.head, sizeof(out.head), 1, f) != 1) {
+    return fail("truncated header");
+  }
+  if (std::memcmp(out.head.magic, kPartMagic, sizeof(kPartMagic)) != 0) {
+    return fail("not a trace part (bad magic)");
+  }
+  if (out.head.version != 1) return fail("unsupported part version");
+  if (out.head.npes <= 0 || out.head.nrings < 0 || out.head.meta_count < 0) {
+    return fail("corrupt header");
+  }
+  for (std::int32_t i = 0; i < out.head.meta_count; ++i) {
+    std::uint32_t klen = 0, vlen = 0;
+    if (std::fread(&klen, sizeof(klen), 1, f) != 1 ||
+        std::fread(&vlen, sizeof(vlen), 1, f) != 1 ||
+        klen > (1u << 20) || vlen > (1u << 20)) {
+      return fail("corrupt meta");
+    }
+    std::string key(klen, '\0'), value(vlen, '\0');
+    if ((klen != 0 && std::fread(key.data(), 1, klen, f) != klen) ||
+        (vlen != 0 && std::fread(value.data(), 1, vlen, f) != vlen)) {
+      return fail("truncated meta");
+    }
+    out.meta.emplace(std::move(key), std::move(value));
+  }
+  for (std::int32_t i = 0; i < out.head.nrings; ++i) {
+    PartRingHead rh{};
+    if (std::fread(&rh, sizeof(rh), 1, f) != 1) return fail("truncated ring");
+    LoadedRing ring;
+    ring.pe = rh.pe;
+    ring.recs.resize(rh.nrecords);
+    if (rh.nrecords != 0 &&
+        std::fread(ring.recs.data(), sizeof(Record), rh.nrecords, f) !=
+            rh.nrecords) {
+      return fail("truncated records");
+    }
+    out.rings.push_back(std::move(ring));
+  }
+  return true;
 }
 
 /// Ends the recording phase: gate off, calibrate tick rate from the full
@@ -485,6 +779,14 @@ const char* to_string(Ev ev) {
     case Ev::kFtDetect: return "ft-detect";
     case Ev::kFtRecoveryBegin: return "ft-recovery-begin";
     case Ev::kFtRecoveryEnd: return "ft-recovery-end";
+    case Ev::kWireSendBegin: return "wire-send-begin";
+    case Ev::kWireSendEnd: return "wire-send-end";
+    case Ev::kWireDeliver: return "wire-deliver";
+    case Ev::kWireAsmBegin: return "wire-asm-begin";
+    case Ev::kWireAsmEnd: return "wire-asm-end";
+    case Ev::kWireRts: return "wire-rts";
+    case Ev::kWireCts: return "wire-cts";
+    case Ev::kWireRdvDone: return "wire-rdv-done";
     case Ev::kCount: break;
   }
   return "?";
@@ -512,12 +814,17 @@ bool start(int npes, std::size_t ring_capacity) {
   if (g_session != nullptr) return false;
   if (ring_capacity == 0) ring_capacity = env_ring_cap();
   auto* s = new Session;
-  s->rings.reserve(static_cast<std::size_t>(npes));
-  for (int pe = 0; pe < npes; ++pe) {
+  s->npes = npes;
+  // npes PE rings + one wire ring (index npes) for the comm thread.
+  s->rings.reserve(static_cast<std::size_t>(npes) + 1);
+  for (int pe = 0; pe <= npes; ++pe) {
     s->rings.push_back(std::make_unique<Ring>(pe, ring_capacity));
   }
   s->tsc0 = rdtsc();
   s->wall0 = std::chrono::steady_clock::now();
+  s->mono0_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    s->wall0.time_since_epoch())
+                    .count();
   g_session = s;
   detail::g_epoch.fetch_add(1, std::memory_order_relaxed);
   detail::g_on = true;
@@ -529,8 +836,7 @@ bool active() { return g_session != nullptr; }
 void bind_pe(int pe) {
   Session* s = g_session;
   detail::TlsState& tls = detail::t_tls;
-  if (s == nullptr || pe < 0 ||
-      pe >= static_cast<int>(s->rings.size())) {
+  if (s == nullptr || pe < 0 || pe >= s->npes) {
     tls.ring = nullptr;
     return;
   }
@@ -540,6 +846,33 @@ void bind_pe(int pe) {
 }
 
 void unbind_pe() { detail::t_tls.ring = nullptr; }
+
+void bind_comm() {
+  Session* s = g_session;
+  detail::TlsState& tls = detail::t_tls;
+  if (s == nullptr) {
+    tls.ring = nullptr;
+    return;
+  }
+  tls.ring = s->rings.back().get();
+  tls.epoch = detail::g_epoch.load(std::memory_order_relaxed);
+  tls.tsc_age = 1u << 30;
+}
+
+void set_proc(int proc, int nprocs, int local_first, int local_npes) {
+  Session* s = g_session;
+  if (s == nullptr) return;
+  s->proc = proc;
+  s->nprocs = nprocs;
+  s->local_first = local_first;
+  s->local_npes = local_npes;
+}
+
+void set_clock_skew(std::int64_t skew_ns) {
+  Session* s = g_session;
+  if (s == nullptr) return;
+  s->skew_ns = skew_ns;
+}
 
 void set_meta(const std::string& key, const std::string& value) {
   Session* s = g_session;
@@ -580,6 +913,163 @@ Summary stop_and_export(const std::string& path, bool* ok) {
   return g_last;
 }
 
+Summary stop_and_export_part(const std::string& path, bool* ok) {
+  Session* s = g_session;
+  if (s == nullptr) {
+    if (ok != nullptr) *ok = false;
+    return Summary{};
+  }
+  const double ns_per_tick = end_recording(*s);
+  g_last = summarize(*s);
+  const bool wrote = write_part(*s, path, ns_per_tick, g_last);
+  if (ok != nullptr) *ok = wrote;
+  teardown(s);
+  return g_last;
+}
+
+bool merge_parts(const std::vector<std::string>& part_paths,
+                 const std::string& out_path, std::string* err) {
+  if (part_paths.empty()) {
+    if (err != nullptr) *err = "no parts to merge";
+    return false;
+  }
+  std::vector<LoadedPart> parts(part_paths.size());
+  for (std::size_t i = 0; i < part_paths.size(); ++i) {
+    if (!read_part(part_paths[i], parts[i], err)) return false;
+  }
+  std::sort(parts.begin(), parts.end(),
+            [](const LoadedPart& a, const LoadedPart& b) {
+              return a.head.proc < b.head.proc;
+            });
+  const int npes = parts.front().head.npes;
+  for (const LoadedPart& p : parts) {
+    if (p.head.npes != npes) {
+      if (err != nullptr) *err = "parts disagree on npes (different runs?)";
+      return false;
+    }
+  }
+  // Common origin: the earliest skew-corrected monotonic anchor. Every
+  // part's track then starts at (its anchor − skew − origin) ≥ 0.
+  std::int64_t origin = parts.front().head.mono0_ns - parts.front().head.skew_ns;
+  for (const LoadedPart& p : parts) {
+    origin = std::min(origin, p.head.mono0_ns - p.head.skew_ns);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    if (err != nullptr) *err = out_path + ": cannot open for write";
+    return false;
+  }
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  JsonWriter w(f);
+  std::uint64_t emitted = 0, dropped = 0;
+  for (const LoadedPart& p : parts) {
+    w.set_pid(p.head.proc);
+    w.event("process_name", 'M', 0, 0);
+    w.args_begin();
+    if (p.head.nprocs > 1) {
+      std::fprintf(f, "\"name\":\"mfc proc %d\"", p.head.proc);
+    } else {
+      std::fprintf(f, "\"name\":\"mfc\"");
+    }
+    w.args_end();
+    w.done();
+    w.event("process_sort_index", 'M', 0, 0);
+    w.args_begin();
+    std::fprintf(f, "\"sort_index\":%d", p.head.proc);
+    w.args_end();
+    w.done();
+    for (const LoadedRing& r : p.rings) {
+      write_thread_name(w, f, r.pe, npes);
+    }
+    emitted += p.head.emitted;
+    dropped += p.head.dropped;
+  }
+  for (const LoadedPart& p : parts) {
+    w.set_pid(p.head.proc);
+    const std::uint64_t base_ns = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, p.head.mono0_ns - p.head.skew_ns - origin));
+    for (const LoadedRing& r : p.rings) {
+      export_records(w, r.recs.data(), r.recs.size(), r.pe, p.head.tsc0,
+                     p.head.ns_per_tick, base_ns);
+    }
+  }
+  std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+  std::fprintf(f,
+               "\"npes\":\"%d\",\"nprocs\":\"%d\",\"parts\":\"%d\","
+               "\"emitted\":\"%llu\",\"dropped\":\"%llu\"",
+               npes, parts.front().head.nprocs,
+               static_cast<int>(parts.size()),
+               static_cast<unsigned long long>(emitted),
+               static_cast<unsigned long long>(dropped));
+  std::map<std::string, std::string> meta;
+  for (const LoadedPart& p : parts) {
+    for (const auto& [key, value] : p.meta) meta.emplace(key, value);
+  }
+  for (const auto& [key, value] : meta) {
+    std::string k, v;
+    json_escape(k, key);
+    json_escape(v, value);
+    std::fprintf(f, ",\"%s\":\"%s\"", k.c_str(), v.c_str());
+  }
+  std::fprintf(f, "}}\n");
+  bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok && err != nullptr) *err = out_path + ": write failed";
+  return ok;
+}
+
 const Summary& last_summary() { return g_last; }
+
+namespace internal {
+
+bool write_tracks_json(
+    const std::string& path, int pid, const std::string& proc_name,
+    const std::vector<Track>& tracks, std::uint64_t tsc0, double ns_per_tick,
+    const std::vector<std::pair<std::string, std::string>>& meta) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  JsonWriter w(f);
+  w.set_pid(pid);
+  w.event("process_name", 'M', 0, 0);
+  w.args_begin();
+  {
+    std::string esc;
+    json_escape(esc, proc_name);
+    std::fprintf(f, "\"name\":\"%s\"", esc.c_str());
+  }
+  w.args_end();
+  w.done();
+  for (const Track& t : tracks) {
+    std::string esc;
+    json_escape(esc, t.name);
+    w.event("thread_name", 'M', t.tid, 0);
+    w.args_begin();
+    std::fprintf(f, "\"name\":\"%s\"", esc.c_str());
+    w.args_end();
+    w.done();
+  }
+  for (const Track& t : tracks) {
+    export_records(w, t.recs.data(), t.recs.size(), t.tid, tsc0,
+                   ns_per_tick, 0);
+  }
+  std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    std::string k, v;
+    json_escape(k, key);
+    json_escape(v, value);
+    std::fprintf(f, "%s\"%s\":\"%s\"", first ? "" : ",", k.c_str(),
+                 v.c_str());
+    first = false;
+  }
+  std::fprintf(f, "}}\n");
+  bool ok = std::ferror(f) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
+}
+
+}  // namespace internal
 
 }  // namespace mfc::trace

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "trace/ring.h"
 #include "util/timer.h"
@@ -67,6 +68,8 @@ inline bool closes_span(Ev ev) {
     case Ev::kMigrateUnpackEnd:
     case Ev::kFtCheckpointEnd:
     case Ev::kFtRecoveryEnd:
+    case Ev::kWireSendEnd:
+    case Ev::kWireAsmEnd:
       return true;
     default:
       return false;
@@ -110,7 +113,8 @@ bool env_enabled();
 /// MFC_TRACE_FILE, defaulting to "mfc_trace.json".
 std::string env_file();
 
-/// Starts a recording session with one ring per PE. `ring_capacity` 0 means
+/// Starts a recording session with one ring per PE plus one "wire" ring for
+/// the process's transport comm thread. `ring_capacity` 0 means
 /// MFC_TRACE_CAP if set, else 8Ki records per PE. Must be called while no
 /// PE loop is running; returns false if a session is already active.
 bool start(int npes, std::size_t ring_capacity = 0);
@@ -120,6 +124,24 @@ bool active();
 /// PE loops call this; emit() from an unbound thread is dropped.
 void bind_pe(int pe);
 void unbind_pe();
+
+/// Binds the calling kernel thread to the session's wire ring (track
+/// "wire", tid = npes). The transport comm thread calls this so wire-level
+/// deliver/reassembly/rendezvous events land on their own track.
+void bind_comm();
+
+/// Declares this process's place in a multi-process machine. Machine::run
+/// calls it post-fork; a part export (below) then covers only the rings
+/// this process actually wrote (its local PE range plus the wire ring)
+/// instead of all npes rings.
+void set_proc(int proc, int nprocs, int local_first, int local_npes);
+
+/// Records this process's estimated monotonic-clock skew versus proc 0
+/// (from the boot-time clock handshake over the transport). Stored in the
+/// part header; merge subtracts it when aligning tracks. Forked same-host
+/// processes share CLOCK_MONOTONIC, so the skew is normally ~0 and the
+/// handshake is a cross-host-proofing refinement, not a correctness need.
+void set_clock_skew(std::int64_t skew_ns);
 
 /// Allocates a machine-wide-unique flow id on the bound PE's ring (0 if
 /// tracing is off / unbound). Flow ids tie a send to its remote dispatch.
@@ -158,6 +180,23 @@ Summary stop();
 /// Ends the session and writes Chrome trace-event JSON to `path`. If `ok`
 /// is non-null it is set to false when the file could not be written.
 Summary stop_and_export(const std::string& path, bool* ok = nullptr);
+
+/// Ends the session and writes a binary trace *part* to `path`: raw ring
+/// records plus this process's rdtsc↔monotonic calibration and clock-skew
+/// estimate. Parts from the processes of one machine run are merged into a
+/// single clock-aligned Perfetto JSON by merge_parts / tools/trace_merge.
+Summary stop_and_export_part(const std::string& path, bool* ok = nullptr);
+
+/// Merges binary trace parts (stop_and_export_part output) into one
+/// Chrome trace-event JSON at `out_path`: one track group (pid) per
+/// process, tracks (tids) per PE plus the wire track, all timestamps
+/// aligned to a common origin via each part's monotonic anchor minus its
+/// handshake skew. Cross-process flow arrows bind automatically because
+/// flow ids are machine-wide unique. Deterministic: merging the same
+/// parts twice yields byte-identical output. Returns false (and fills
+/// `err` if non-null) on unreadable/corrupt parts or write failure.
+bool merge_parts(const std::vector<std::string>& part_paths,
+                 const std::string& out_path, std::string* err = nullptr);
 
 /// Summary of the most recently stopped session (zeroed before the first).
 const Summary& last_summary();

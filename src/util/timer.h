@@ -28,6 +28,33 @@ inline std::uint64_t rdtsc() {
 #endif
 }
 
+/// Paired rdtsc/steady_clock sample for tick-rate calibration. Take one
+/// anchor when a recording subsystem starts and another when it dumps; the
+/// span between them is the calibration baseline (a long baseline beats a
+/// short warm-up measurement — same approach as the trace session).
+struct TscAnchor {
+  std::uint64_t tsc = 0;
+  std::int64_t mono_ns = 0;
+
+  static TscAnchor now() {
+    TscAnchor a;
+    a.tsc = rdtsc();
+    a.mono_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+    return a;
+  }
+
+  /// Nanoseconds per TSC tick measured from this anchor to `later`;
+  /// degenerate spans (clock went nowhere) fall back to 1.0.
+  double ns_per_tick(const TscAnchor& later) const {
+    const std::uint64_t ticks = later.tsc > tsc ? later.tsc - tsc : 1;
+    const double ns = static_cast<double>(later.mono_ns - mono_ns);
+    const double r = ns / static_cast<double>(ticks);
+    return r > 0.0 ? r : 1.0;
+  }
+};
+
 /// Simple scoped stopwatch.
 class Stopwatch {
  public:

@@ -373,7 +373,6 @@ struct MsState {
   // Per-process registries (mirrors of the full storm driver's).
   std::mutex mu;
   std::unordered_map<int, mfc::migrate::MigratableThread*> threads;
-  std::unordered_map<std::uint64_t, int> by_tid;
   struct Arrival {
     mfc::ult::Thread* t;
     std::int32_t round;
@@ -408,13 +407,12 @@ std::uint64_t ms_pat_key(const MsState& s, int wid, int r) {
 cv::HandlerId h_ms_dock, h_ms_ship, h_ms_arrived, h_ms_release, h_ms_done,
     h_ms_finish;
 
-void ms_worker_body() {
+// wid arrives as a lambda capture and from then on lives in this frame —
+// i.e. on the migrating stack. Keying identity off ult thread ids would be
+// wrong here: the id counter is forked, so workers born in different
+// processes can collide.
+void ms_worker_body(int wid) {
   MsState* s = g_ms;
-  int wid;
-  {
-    std::lock_guard<std::mutex> lock(s->mu);
-    wid = s->by_tid.at(cv::pe_scheduler().running()->id());
-  }
   unsigned char canary[192];
   const auto canary_addr = reinterpret_cast<std::uintptr_t>(&canary[0]);
   fill_pattern(canary, sizeof canary, ms_pat_key(*s, wid, 0));
@@ -445,13 +443,14 @@ void ms_worker_body() {
 
 mfc::migrate::MigratableThread* ms_make_worker(const MsState& s, int wid,
                                                int pe) {
+  const auto body = [wid] { ms_worker_body(wid); };
   switch (wid % 3) {
     case 0:
-      return new mfc::migrate::StackCopyThread(ms_worker_body, s.stack_bytes);
+      return new mfc::migrate::StackCopyThread(body, s.stack_bytes);
     case 1:
-      return new mfc::migrate::IsoThread(ms_worker_body, pe, s.stack_bytes);
+      return new mfc::migrate::IsoThread(body, pe, s.stack_bytes);
     default:
-      return new mfc::migrate::MemAliasThread(ms_worker_body, s.stack_bytes);
+      return new mfc::migrate::MemAliasThread(body, s.stack_bytes);
   }
 }
 
@@ -505,7 +504,6 @@ void ensure_ms_handlers() {
       t->set_delete_on_exit(true);
       {
         std::lock_guard<std::mutex> lock(s->mu);
-        s->by_tid[t->id()] = ship.wid;
         s->threads[ship.wid] = t;
         s->arrived[cv::my_pe()].push_back({t, ship.round});
       }
@@ -572,7 +570,6 @@ void ms_entry(int pe) {
     t->set_delete_on_exit(true);
     {
       std::lock_guard<std::mutex> lock(s->mu);
-      s->by_tid[t->id()] = w;
       s->threads[w] = t;
     }
     cv::ready_thread(t);

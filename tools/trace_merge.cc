@@ -1,0 +1,35 @@
+// trace_merge: offline merger for multi-process trace parts.
+//
+// A multi-process machine run with MFC_TRACE=1 normally merges its own
+// parts at shutdown, but a crashed or killed run leaves only the
+// .part<k> files behind. This tool performs the same clock-aligned merge
+// (per-process track groups, cross-process flow arrows) on whatever parts
+// survived:
+//
+//   trace_merge out.json run.part0 run.part1 ...
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <out.json> <part> [part ...]\n"
+                 "Merges MFCPART1 trace parts (one per process) into a "
+                 "single Perfetto-loadable JSON timeline.\n",
+                 argv[0]);
+    return 2;
+  }
+  std::vector<std::string> parts;
+  for (int i = 2; i < argc; ++i) parts.emplace_back(argv[i]);
+  std::string err;
+  if (!mfc::trace::merge_parts(parts, argv[1], &err)) {
+    std::fprintf(stderr, "trace_merge: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%s: merged %zu part%s\n", argv[1], parts.size(),
+              parts.size() == 1 ? "" : "s");
+  return 0;
+}
