@@ -15,6 +15,7 @@
 
 #include "arch/context.h"
 #include "bench_common.h"
+#include "chaos/procstorm.h"
 #include "chaos/storm.h"
 #include "converse/machine.h"
 #include "iso/heap.h"
@@ -699,6 +700,85 @@ void run_ft_suite() {
 
 }  // namespace ft_bench
 
+// ---- cross-process checkpoint overhead ------------------------------------
+// The process-tier FT bar: a 16-PE / 4-process shm machine running the
+// procstorm workload with checkpoint-every-10 must cost <= 15% more than
+// the same storm with FT off. Buddy placement is process-disjoint, so
+// every blob shipment crosses a process boundary on the scatter-gather
+// wire path — this suite prices exactly that traffic plus the quiescent
+// capture windows. Measurement is *wall* time, not process CPU time: the
+// workers are forked children, invisible to CLOCK_PROCESS_CPUTIME_ID
+// (same methodology as the transport suite). Paired off/on reps, median
+// of the per-rep ratios. Rows land in BENCH_ftx.json; ci_ft.sh gates the
+// ratio via bench_compare.py --max-ratio.
+namespace ftx_bench {
+
+mfc::bench::MsgBenchRow run_ftx_storm(const char* name, int checkpoint_every) {
+  mfc::chaos::ProcStormOptions opt;
+  opt.seed = 99;
+  opt.npes = 16;
+  opt.nprocs = 4;
+  opt.transport = 1;  // shm rings
+  opt.rounds = 30;
+  opt.workers_per_pe = 2;
+  opt.values_per_worker = 512;  // 8 KiB of history per PE -> real blobs
+  opt.checkpoint_every = checkpoint_every;
+  // No kills: the detector runs only so its ping tax lands in both arms,
+  // and a bench-starved PE must never be declared dead mid-measurement.
+  opt.timeout_us = 10'000'000;
+  mfc::bench::MsgBenchRow row;
+  row.name = name;
+  row.mode = checkpoint_every > 0 ? "ckpt_every_10" : "ckpt_off";
+  row.npes = opt.npes;
+  const double cpu0 = mfc::process_cpu_time();
+  const double t0 = mfc::wall_time();
+  const mfc::chaos::ProcStormReport rep = mfc::chaos::run_proc_storm(opt);
+  row.seconds = mfc::wall_time() - t0;
+  row.cpu_seconds = mfc::process_cpu_time() - cpu0;
+  // The storm's unit of work: one round handler execution per PE.
+  row.messages = rep.rounds * static_cast<std::uint64_t>(opt.npes);
+  if (!rep.clean(opt.npes)) {
+    std::fprintf(stderr, "warning: %s procstorm not clean\n", name);
+  }
+  return row;
+}
+
+void run_ftx_suite() {
+  // Whole-machine wall-time runs on a shared 1-core host wobble; 9 paired
+  // reps keep the median ratio clear of the 15% gate's noise floor.
+  constexpr int kReps = 9;
+  constexpr int kEvery = 10;
+  std::printf("# cross-process checkpoint overhead: paired ckpt off/on "
+              "4-proc shm storms, median wall-time ratio of %d reps "
+              "(checkpoint every %d rounds)\n",
+              kReps, kEvery);
+  std::vector<mfc::bench::MsgBenchRow> offs, ons;
+  std::vector<std::pair<double, int>> ratios;
+  for (int i = 0; i < kReps; ++i) {
+    offs.push_back(run_ftx_storm("ftx_storm", 0));
+    ons.push_back(run_ftx_storm("ftx_storm", kEvery));
+    ratios.emplace_back(ons.back().seconds / offs.back().seconds, i);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const int mid = ratios[ratios.size() / 2].second;
+  std::vector<mfc::bench::MsgBenchRow> rows;
+  rows.push_back(offs[static_cast<std::size_t>(mid)]);
+  conv_bench::print_row(rows.back());
+  rows.push_back(ons[static_cast<std::size_t>(mid)]);
+  conv_bench::print_row(rows.back());
+  const double pct = (ratios[ratios.size() / 2].first - 1.0) * 100.0;
+  std::printf("# ftx_storm cross-process checkpoint overhead (wall): %s%% "
+              "(bar: <= 15%%)\n",
+              mfc::format_double(pct, 1).c_str());
+  if (!mfc::bench::write_msg_bench_json("BENCH_ftx.json", "ftx_checkpoint",
+                                        rows)) {
+    std::fprintf(stderr, "warning: could not write BENCH_ftx.json\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace ftx_bench
+
 // ---- zero-copy migration + incremental/async checkpointing (PR 6) ----
 // Three sub-suites, all recorded in BENCH_migrate.json:
 //
@@ -1166,8 +1246,9 @@ void run_transport_suite() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  // MFC_BENCH_SUITE=converse|trace|ft|migrate|transport runs one suite in
-  // isolation (the scripts/ci_*.sh jobs use this); unset runs everything.
+  // MFC_BENCH_SUITE=converse|trace|obs|ft|ftx|migrate|transport runs one
+  // suite in isolation (the scripts/ci_*.sh jobs use this); unset runs
+  // everything.
   const char* suite = std::getenv("MFC_BENCH_SUITE");
   const auto want = [suite](const char* name) {
     return suite == nullptr || std::strcmp(suite, name) == 0;
@@ -1176,6 +1257,7 @@ int main(int argc, char** argv) {
   if (want("trace")) conv_bench::run_trace_suite();
   if (want("obs")) conv_bench::run_obs_suite();
   if (want("ft")) ft_bench::run_ft_suite();
+  if (want("ftx")) ftx_bench::run_ftx_suite();
   if (want("migrate")) migrate_bench::run_migrate_suite();
   if (want("transport")) transport_bench::run_transport_suite();
   if (suite == nullptr) benchmark::RunSpecifiedBenchmarks();

@@ -84,6 +84,7 @@ double probability(const Config& c, Point p) {
     case Point::kPreempt: return c.preempt;
     case Point::kTransportKill: return c.transport_kill;
     case Point::kPeKill: return c.pe_kill;
+    case Point::kProcKill: return c.proc_kill;
   }
   return 0.0;
 }
@@ -102,6 +103,7 @@ const char* to_string(Point p) {
     case Point::kPreempt: return "preempt";
     case Point::kTransportKill: return "transport-kill";
     case Point::kPeKill: return "pe-kill";
+    case Point::kProcKill: return "proc-kill";
   }
   return "?";
 }

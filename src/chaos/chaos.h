@@ -40,8 +40,9 @@ enum class Point : std::uint8_t {
   kPreempt = 3,       ///< forced yield at an instrumented preemption point
   kTransportKill = 4, ///< proc transport relay process killed mid-shipment
   kPeKill = 5,        ///< emulated PE failure (ft layer kill/recover testing)
+  kProcKill = 6,      ///< whole-process SIGKILL (cross-process FT testing)
 };
-constexpr int kPointCount = 6;
+constexpr int kPointCount = 7;
 const char* to_string(Point p);
 
 /// Chaos knobs, installable standalone or via converse::Machine::Config.
@@ -68,6 +69,9 @@ struct Config {
   /// Emulated PE-failure probability; consumed keyed (per kill ordinal) by
   /// the storm driver's deterministic kill schedule, not as a free stream.
   double pe_kill = 0.0;
+  /// Whole-process SIGKILL probability; consumed keyed (per checkpoint
+  /// round) by the cross-process kill-storm driver's schedule.
+  double proc_kill = 0.0;
 };
 
 /// Installs the chaos engine process-wide and logs `MFC_CHAOS_SEED=<seed>`.

@@ -1,9 +1,14 @@
 #include "converse/machine.h"
 
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -159,6 +164,36 @@ struct MachineState {
   std::unique_ptr<std::atomic<bool>[]> wipe_pending;
   // PE0-only barrier bookkeeping (touched exclusively from PE0's loop).
   std::unordered_map<std::uint64_t, int> barrier_counts;
+  // ---- Process-tier fault tolerance (see DESIGN.md "Fault tolerance").
+  // Armed (ft_respawn) when FT hooks are installed on a multi-process
+  // machine; everything below is inert otherwise. ----
+  bool ft_respawn = false;
+  /// 0 for an original process; the respawn generation in a respawned
+  /// incarnation (whose local PEs boot dead until recovery revives them).
+  int respawn_gen = 0;
+  int ctl_fd = -1;       ///< this process's end of its zygote channel
+  pid_t zygote_pid = 0;  ///< process 0 only
+  std::vector<pid_t> kids;  ///< process 0 only: the original children
+  /// Parallel to `kids`; written by the comm thread's liveness poll, read
+  /// by the final reap and by kill_proc (atomic: PE 0's escalation races
+  /// the comm thread).
+  std::unique_ptr<std::atomic<bool>[]> kids_reaped;
+  /// Process 0, PE-0-thread only: which procs now run as respawned
+  /// incarnations — kill routing (original children get a direct SIGKILL;
+  /// respawns go through the zygote, which holds their pids).
+  std::vector<bool> proc_respawned;
+  std::uint64_t next_respawn_gen = 0;  ///< PE-0-thread only
+  /// Detection mailboxes, comm thread → FT tick on PE 0 (-1 = empty).
+  std::atomic<int> dead_proc_event{-1};
+  std::atomic<int> respawn_done_event{-1};
+  /// Quiescence drain mode (recovery): see h_qd_token.
+  std::atomic<bool> qd_drain{false};
+  /// Settled send-deliver deficit recorded by the last drain wave —
+  /// messages lost with dead processes. Signed: a respawned process's
+  /// counters restart at zero, so accumulated sends can trail deliveries.
+  /// Exact-mode quiescence compares against this baseline (starts 0, the
+  /// failure-free rule). PE-0-thread only.
+  std::int64_t qd_comp = 0;
 };
 
 MachineState* g_machine = nullptr;
@@ -167,6 +202,87 @@ thread_local Pe* t_pe = nullptr;
 // FT hooks, installed before Machine::run and captured into ft_on at boot.
 FtMachineHooks g_ft_hooks;
 bool g_ft_hooks_set = false;
+
+// ---- Zygote control protocol (process-tier FT) ----
+//
+// Fixed 16-byte records over per-process SOCK_SEQPACKET pairs (record
+// boundaries preserved; SCM_RIGHTS carries a stream fd when one rides
+// along). proc-end[k] lives in machine process k; zyg-end[k] in the zygote.
+
+enum CtlType : std::uint32_t {
+  kCtlReqRespawn = 1,   ///< proc 0 → zygote: respawn proc (arg = generation)
+  kCtlPeerSwap = 2,     ///< zygote → survivor: attach proc's fresh stream
+  kCtlSwapDone = 3,     ///< survivor → zygote: swap ack
+  kCtlRespawnDone = 4,  ///< zygote → proc 0: respawn sequence complete
+  kCtlProcDeath = 5,    ///< zygote → proc 0: a respawned incarnation died
+  kCtlShutdown = 6,     ///< proc 0 → zygote: reap grandchildren and exit
+  kCtlReqKill = 7,      ///< proc 0 → zygote: SIGKILL a respawned incarnation
+};
+
+struct CtlRec {
+  std::uint32_t type = 0;
+  std::int32_t proc = -1;
+  std::uint64_t arg = 0;
+};
+static_assert(sizeof(CtlRec) == 16, "ctl record layout must be fixed");
+
+void ctl_send(int fd, const CtlRec& rec, int ship_fd = -1) {
+  msghdr mh{};
+  iovec iov{const_cast<CtlRec*>(&rec), sizeof rec};
+  mh.msg_iov = &iov;
+  mh.msg_iovlen = 1;
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  if (ship_fd >= 0) {
+    std::memset(cbuf, 0, sizeof cbuf);
+    mh.msg_control = cbuf;
+    mh.msg_controllen = sizeof cbuf;
+    cmsghdr* cm = CMSG_FIRSTHDR(&mh);
+    cm->cmsg_level = SOL_SOCKET;
+    cm->cmsg_type = SCM_RIGHTS;
+    cm->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cm), &ship_fd, sizeof(int));
+  }
+  for (;;) {
+    const ssize_t w = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (w == static_cast<ssize_t>(sizeof rec)) return;
+    if (w < 0 && errno == EINTR) continue;
+    MFC_CHECK_MSG(false, "machine ctl channel send failed");
+  }
+}
+
+/// Nonblocking receive of one ctl record; false when none is ready (or the
+/// peer closed). *ship_fd gets the SCM_RIGHTS fd when one rode along.
+bool ctl_recv(int fd, CtlRec* rec, int* ship_fd) {
+  msghdr mh{};
+  iovec iov{rec, sizeof *rec};
+  mh.msg_iov = &iov;
+  mh.msg_iovlen = 1;
+  alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  mh.msg_control = cbuf;
+  mh.msg_controllen = sizeof cbuf;
+  if (ship_fd != nullptr) *ship_fd = -1;
+  for (;;) {
+    const ssize_t r = ::recvmsg(fd, &mh, MSG_DONTWAIT | MSG_CMSG_CLOEXEC);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    if (r == 0) return false;  // peer closed
+    MFC_CHECK_MSG(r == static_cast<ssize_t>(sizeof *rec),
+                  "machine ctl channel: short read");
+    break;
+  }
+  for (cmsghdr* cm = CMSG_FIRSTHDR(&mh); cm != nullptr;
+       cm = CMSG_NXTHDR(&mh, cm)) {
+    if (cm->cmsg_level != SOL_SOCKET || cm->cmsg_type != SCM_RIGHTS) continue;
+    int got = -1;
+    std::memcpy(&got, CMSG_DATA(cm), sizeof(int));
+    if (ship_fd != nullptr && *ship_fd < 0) {
+      *ship_fd = got;
+    } else {
+      ::close(got);
+    }
+  }
+  return true;
+}
 
 struct BarrierMsg {
   std::uint64_t gen = 0;
@@ -179,6 +295,7 @@ HandlerId h_qd_start = 0;
 HandlerId h_qd_token = 0;
 HandlerId h_qd_release = 0;
 HandlerId h_iso_release = 0;
+HandlerId h_iso_claim = 0;
 HandlerId h_clock_ping = 0;
 HandlerId h_clock_reply = 0;
 HandlerId h_clock_set = 0;
@@ -229,8 +346,17 @@ struct QdToken {
   std::uint64_t acc_delivered = 0;
   std::int32_t hops = 0;
   std::uint8_t all_idle = 1;
+  /// Drain mode only: ANDs one transport->quiescent() sample per process —
+  /// wire bytes in flight forbid a quiet verdict even though the lossy
+  /// counts can no longer prove their absence.
+  std::uint8_t xport_idle = 1;
+  /// Round mode, stamped at qd_start_round: 1 = drain (recovery settle
+  /// wave), 0 = exact. Travels in the token because the drain flag lives
+  /// in PE 0's process only.
+  std::uint8_t drain = 0;
   void pup(pup::Er& p) {
-    p | app_sent_at_start | acc_sent | acc_delivered | hops | all_idle;
+    p | app_sent_at_start | acc_sent | acc_delivered | hops | all_idle |
+        xport_idle | drain;
   }
 };
 
@@ -271,6 +397,7 @@ void qd_send(int pe, HandlerId handler, const std::vector<char>& payload) {
 void qd_start_round() {
   QdToken token;
   token.app_sent_at_start = app_sent();
+  token.drain = g_machine->qd_drain.load(std::memory_order_acquire) ? 1 : 0;
   qd_send(0, h_qd_token, pup::to_bytes(token));
 }
 
@@ -574,10 +701,26 @@ void register_builtin_handlers() {
           // the token accumulated one reading per process instead. Quiet
           // needs balance AND two consecutive identical rounds (Mattern's
           // double wave) — a single balanced reading can be stale.
-          quiet = token.all_idle != 0 &&
-                  token.acc_sent == token.acc_delivered &&
-                  token.acc_sent == g_machine->qd_prev_sent &&
-                  token.acc_delivered == g_machine->qd_prev_delivered;
+          const bool stable =
+              token.acc_sent == g_machine->qd_prev_sent &&
+              token.acc_delivered == g_machine->qd_prev_delivered;
+          const std::int64_t diff =
+              static_cast<std::int64_t>(token.acc_sent) -
+              static_cast<std::int64_t>(token.acc_delivered);
+          if (token.drain != 0) {
+            // Drain mode (process recovery): messages died with the killed
+            // process, so balance is unreachable. Quiet = every PE idle,
+            // every transport drained, counts frozen across two waves; the
+            // settled deficit becomes the baseline exact rounds compare
+            // against from now on.
+            quiet = token.all_idle != 0 && token.xport_idle != 0 && stable;
+            if (quiet) g_machine->qd_comp = diff;
+          } else {
+            // Exact mode: balance up to the recorded loss baseline
+            // (qd_comp starts 0, i.e. the failure-free rule).
+            quiet =
+                token.all_idle != 0 && diff == g_machine->qd_comp && stable;
+          }
           g_machine->qd_prev_sent = token.acc_sent;
           g_machine->qd_prev_delivered = token.acc_delivered;
         } else {
@@ -601,6 +744,13 @@ void register_builtin_handlers() {
       if (g_machine->nprocs > 1 && pe->id % g_machine->ppn == 0) {
         token.acc_sent += app_sent();
         token.acc_delivered += app_delivered();
+        // Drain rounds only: sampling the wire is advisory (and the socket
+        // sample takes a lock), so exact rounds never pay for it — and the
+        // tsan legs, which are loopback and never drain, never race it.
+        if (token.drain != 0 && g_machine->transport != nullptr &&
+            !g_machine->transport->quiescent()) {
+          token.xport_idle = 0;
+        }
       }
       token.hops += 1;
       qd_send((pe->id + 1) % g_machine->npes, h_qd_token,
@@ -618,6 +768,14 @@ void register_builtin_handlers() {
     h_iso_release = register_handler([](Message&& m) {
       auto id = m.as<iso::SlotId>();
       iso::Region::instance().free_remote(id);
+    });
+    // Lease reassertion after a process respawn: restored threads replay
+    // their slot ids to the birth process so its fresh (zygote boot-time)
+    // bitmap copy re-learns the allocations. FT-counted: recovery traffic
+    // must not disturb the quiescence the recovery itself waits for.
+    h_iso_claim = register_handler([](Message&& m) {
+      metrics::bump(Counter::kFtDelivered);
+      iso::Region::instance().reassert(m.as<iso::SlotId>());
     });
     // Trace clock handshake (see the comment block above ClockPing).
     h_clock_ping = register_handler([](Message&& m) {
@@ -639,6 +797,459 @@ void register_builtin_handlers() {
       trace::set_clock_skew(m.as<ClockSet>().skew);
     });
   });
+}
+
+// ---- Per-process machine body ----
+//
+// Machine::run's post-fork half, split out so the respawn zygote can run
+// the identical body for a replacement incarnation. Non-zero processes
+// _Exit(0) inside; process 0 returns (with the transport joined and
+// g_machine still alive) for the parent-side teardown.
+
+struct ProcRun {
+  const Machine::Config* config = nullptr;
+  const std::function<void(int)>* entry = nullptr;
+  std::unique_ptr<transport::Transport>* transport = nullptr;
+  int my_proc = 0;
+  int respawn_gen = 0;  ///< > 0 marks a respawned incarnation
+  int ctl_fd = -1;      ///< this process's zygote channel (-1 = no zygote)
+  pid_t zygote_pid = 0;
+  std::vector<pid_t> kids;  ///< process 0 only
+  bool owns_chaos = false;
+  bool owns_trace = false;
+  bool owns_hist = false;
+};
+
+void run_machine_process(ProcRun ctx) {
+  const Machine::Config& config = *ctx.config;
+  const std::function<void(int)>& entry = *ctx.entry;
+  std::unique_ptr<transport::Transport>& transport = *ctx.transport;
+  const int my_proc = ctx.my_proc;
+
+  // ---- Per-process machine state (post-fork). ----
+  const int ppn = config.npes / config.nprocs;
+  g_machine = new MachineState();
+  g_machine->npes = config.npes;
+  g_machine->mutex_baseline = config.mutex_baseline;
+  g_machine->chaos_delay =
+      chaos::enabled() && chaos::config().delivery_delay > 0.0;
+  g_machine->ft_on = g_ft_hooks_set;
+  g_machine->nprocs = config.nprocs;
+  g_machine->my_proc = my_proc;
+  g_machine->ppn = ppn;
+  g_machine->local_first = my_proc * ppn;
+  g_machine->local_npes = ppn;
+  g_machine->transport = transport.get();
+  g_machine->ft_respawn = g_ft_hooks_set && config.nprocs > 1;
+  g_machine->respawn_gen = ctx.respawn_gen;
+  g_machine->ctl_fd = ctx.ctl_fd;
+  g_machine->zygote_pid = ctx.zygote_pid;
+  g_machine->kids = std::move(ctx.kids);
+  if (!g_machine->kids.empty()) {
+    g_machine->kids_reaped =
+        std::make_unique<std::atomic<bool>[]>(g_machine->kids.size());
+  }
+  g_machine->proc_respawned.assign(static_cast<std::size_t>(config.nprocs),
+                                   false);
+  // Stamp observability provenance with the post-fork identity: metrics
+  // snapshots record which process they came from, trace parts record the
+  // local PE range they own, the flight recorder names its dump file.
+  metrics::set_proc(my_proc, config.nprocs);
+  flight::set_proc(my_proc, config.nprocs);
+  if (trace::active()) {
+    trace::set_proc(my_proc, config.nprocs, g_machine->local_first,
+                    g_machine->local_npes);
+  }
+  if (g_machine->ft_on) {
+    MFC_CHECK_MSG(!config.mutex_baseline,
+                  "FT hooks require the lock-free messaging path");
+    g_machine->dead =
+        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(config.npes));
+    g_machine->wipe_pending =
+        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(config.npes));
+    if (g_machine->respawn_gen > 0) {
+      // A respawned incarnation boots with every local PE dead: the mains
+      // park (the application's rebirth branch) and the loops spin-sleep
+      // until recovery revives and refills them from the remote buddies.
+      for (int i = g_machine->local_first; i < g_machine->local_first + ppn;
+           ++i) {
+        g_machine->dead[i].store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  g_machine->pool_cap = config.pool_cap;
+  g_machine->pes.resize(static_cast<std::size_t>(config.npes));
+  for (int i = g_machine->local_first;
+       i < g_machine->local_first + g_machine->local_npes; ++i) {
+    auto pe = std::make_unique<Pe>();
+    pe->id = i;
+    g_machine->pes[static_cast<std::size_t>(i)] = std::move(pe);
+  }
+
+  if (transport) {
+    transport::Hooks hooks;
+    hooks.alloc = [](const wire::Header& h, std::uint64_t total_len) {
+      Message* m = create_message();
+      m->handler = h.handler;
+      m->src_pe = h.src_pe;
+      m->dest_pe = h.dest_pe;
+      m->trace_flow = h.trace_flow;
+      // Adopted into the destination PE's pool on release (the comm thread
+      // allocates, the destination PE frees).
+      m->pool_pe = h.dest_pe;
+      m->payload.resize(static_cast<std::size_t>(total_len));
+      return m;
+    };
+    hooks.enqueue = [](Message* m) {
+      Pe* dest = g_machine->pes[static_cast<std::size_t>(m->dest_pe)].get();
+      MFC_CHECK_MSG(dest != nullptr, "wire delivery to a non-local PE");
+      // Queue-wait for wire arrivals measures local-queue residency only
+      // (stamps never cross processes; tsc domains may differ).
+      m->stamp = hist::on() ? rdtsc() : 0;
+      dest->queue.push(m);
+    };
+    hooks.drop = [](Message* m) { drain_message(m); };
+    hooks.on_proc_done = [] {
+      if (g_machine->procs_done.fetch_add(1) + 1 == g_machine->nprocs) {
+        g_machine->transport->broadcast_stop();
+      }
+    };
+    hooks.on_stop = [] {
+      g_machine->stop.store(true);
+      for (auto& pe : g_machine->pes) {
+        if (pe) {
+          pe->queue.wake();
+          pe->legacy_queue.wake();
+        }
+      }
+      g_machine->transport->stop_local();
+    };
+    hooks.tolerate_peer_loss = g_machine->ft_respawn;
+    if (g_machine->ft_on) {
+      // Machine-level FT control frames (kill/revive for a local PE): the
+      // comm thread flips the same flags kill_pe/revive_pe flip locally.
+      hooks.ft_ctl = [](const wire::Header& h) {
+        const int pe = h.dest_pe;
+        MFC_CHECK(pe >= 0 && pe < g_machine->npes && pe_local(pe));
+        if (h.msg_id == 0) {
+          g_machine->dead[pe].store(true, std::memory_order_release);
+          g_machine->pes[static_cast<std::size_t>(pe)]->queue.wake();
+        } else {
+          g_machine->wipe_pending[pe].store(true, std::memory_order_release);
+          g_machine->dead[pe].store(false, std::memory_order_release);
+        }
+      };
+    }
+    if (!g_machine->kids.empty() || g_machine->ctl_fd >= 0) {
+      // Comm-thread policing. Process 0 reaps dead children: without the
+      // process tier armed a dead child is an immediate crash (it would
+      // hang the stop protocol); with it the death becomes a detection
+      // event for the FT tick. Every process additionally drains its
+      // zygote channel — survivors install respawned peers' fresh streams
+      // here (attach_peer must run on the comm thread).
+      hooks.idle = [] {
+        MachineState* st = g_machine;
+        for (std::size_t k = 0; k < st->kids.size(); ++k) {
+          if (st->kids_reaped[k].load(std::memory_order_relaxed)) continue;
+          int status = 0;
+          const pid_t r = waitpid(st->kids[k], &status, WNOHANG);
+          if (r != st->kids[k]) continue;
+          st->kids_reaped[k].store(true, std::memory_order_release);
+          if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+          MFC_CHECK_MSG(st->ft_respawn, "machine child process died");
+          const int proc = static_cast<int>(k) + 1;
+          metrics::bump(Counter::kProcKills);
+          trace::emit_flight(trace::Ev::kFtProcDown, 0,
+                             static_cast<std::uint32_t>(proc), 0,
+                             static_cast<std::int16_t>(proc * st->ppn));
+          st->dead_proc_event.store(proc, std::memory_order_release);
+        }
+        if (st->ctl_fd < 0) return;
+        CtlRec rec;
+        int fd = -1;
+        while (ctl_recv(st->ctl_fd, &rec, &fd)) {
+          switch (rec.type) {
+            case kCtlPeerSwap:
+              // A dead peer was respawned: swap to its fresh stream and
+              // ack so the zygote can report the respawn complete.
+              st->transport->attach_peer(rec.proc, fd, rec.arg);
+              ctl_send(st->ctl_fd,
+                       CtlRec{kCtlSwapDone, rec.proc, rec.arg});
+              break;
+            case kCtlRespawnDone:
+              metrics::bump(Counter::kProcRespawns);
+              trace::emit_flight(trace::Ev::kFtProcRespawn, rec.arg,
+                                 static_cast<std::uint32_t>(rec.proc));
+              st->respawn_done_event.store(rec.proc,
+                                           std::memory_order_release);
+              break;
+            case kCtlProcDeath:
+              // A respawned incarnation died (only the zygote, its parent,
+              // can waitpid it). Same detection event as a child death.
+              metrics::bump(Counter::kProcKills);
+              trace::emit_flight(
+                  trace::Ev::kFtProcDown, 0,
+                  static_cast<std::uint32_t>(rec.proc), 0,
+                  static_cast<std::int16_t>(rec.proc * st->ppn));
+              st->dead_proc_event.store(rec.proc, std::memory_order_release);
+              break;
+            default:
+              MFC_CHECK_MSG(false,
+                            "unexpected record on the machine ctl channel");
+          }
+          fd = -1;
+        }
+      };
+    }
+    transport->start(my_proc, std::move(hooks));
+  }
+
+  // Cross-process slot leasing: release() must clear the `used` bit in the
+  // slot's birth process (the one whose strip bitmap tracks it), so
+  // non-local releases evacuate locally then forward a free order.
+  if (config.nprocs > 1) {
+    iso::Region::set_lease(
+        [](int pe) { return pe_local(pe); },
+        [](iso::SlotId id) { send_value(id.pe, h_iso_release, id); });
+  }
+
+  // Wedge watchdog (MFC_WEDGE_MS=<n>, off by default): a per-process
+  // monitor thread that fires the flight recorder if the local message
+  // counters sit still for n ms while the machine is supposedly running.
+  // Each process polices itself, so a machine-wide wedge produces one
+  // black-box dump per process without any cross-process coordination.
+  std::atomic<bool> wedge_stop{false};
+  std::thread wedge;
+  long wedge_ms = 0;
+  if (const char* env = std::getenv("MFC_WEDGE_MS");
+      env != nullptr && *env != '\0') {
+    wedge_ms = std::strtol(env, nullptr, 10);
+  }
+  if (wedge_ms > 0) {
+    wedge = std::thread([&wedge_stop, wedge_ms] {
+      const auto poll = std::chrono::milliseconds(
+          wedge_ms / 4 > 50 ? 50 : (wedge_ms / 4 > 0 ? wedge_ms / 4 : 1));
+      std::uint64_t last = ~0ull;
+      auto last_move = std::chrono::steady_clock::now();
+      while (!wedge_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        const std::uint64_t cur = total_sent() + total_delivered();
+        const auto now = std::chrono::steady_clock::now();
+        if (cur != last) {
+          last = cur;
+          last_move = now;
+        } else if (now - last_move >= std::chrono::milliseconds(wedge_ms)) {
+          trace::flight::dump("wedge");
+          return;
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(g_machine->local_npes));
+  for (int i = g_machine->local_first;
+       i < g_machine->local_first + g_machine->local_npes; ++i) {
+    threads.emplace_back(pe_loop,
+                         g_machine->pes[static_cast<std::size_t>(i)].get(),
+                         std::cref(entry));
+  }
+  for (auto& t : threads) t.join();
+
+  if (wedge.joinable()) {
+    wedge_stop.store(true, std::memory_order_release);
+    wedge.join();
+  }
+
+  if (transport) {
+    transport->stop_local();
+    transport->join();
+  }
+  if (config.nprocs > 1) iso::Region::clear_lease();
+
+  if (my_proc != 0) {
+    // Child teardown mirrors the parent's but ends in _Exit: the child must
+    // not run atexit handlers or static destructors for state the parent
+    // still owns. Books are checked per-process (the pes vector only drains
+    // local envelopes).
+    delete g_machine;
+    g_machine = nullptr;
+    if (ctx.owns_chaos) chaos::uninstall();
+    if (ctx.owns_trace) {
+      // Binary part, not JSON: the parent merges every process's part into
+      // one clock-aligned timeline after it reaps the children.
+      trace::stop_and_export_part(trace::env_file() + ".part" +
+                                  std::to_string(my_proc));
+    }
+    if (ctx.owns_hist) {
+      hist::write_stats_json(hist::env_file() + ".proc" +
+                             std::to_string(my_proc));
+      hist::enable(false);
+    }
+    MFC_CHECK_MSG(metrics::total(metrics::Counter::kMsgsAllocated) ==
+                      metrics::total(metrics::Counter::kMsgsFreed),
+                  "message envelopes leaked at machine shutdown (child)");
+    transport.reset();
+    std::_Exit(0);
+  }
+}
+
+// ---- Respawn zygote ----
+//
+// A process forked from the pristine pre-fork single-threaded image,
+// holding copies of every shared resource (shm segment, socket matrix, iso
+// reservation, handler table, installed FT hooks, armed trace/flight
+// state). A SIGKILLed worker cannot be re-forked from any live process —
+// they all carry PE threads and divergent state — so the zygote parks on
+// the clean image and forks replacements from it on request. It is also
+// the only place that can refresh a dead process's wire resources *before*
+// the replacement exists, and it ships the survivor-side stream ends over
+// SCM_RIGHTS.
+
+void zygote_respawn(const Machine::Config& config,
+                    const std::function<void(int)>& entry,
+                    std::unique_ptr<transport::Transport>& transport,
+                    const std::vector<int>& ctl_zyg,
+                    const std::vector<int>& ctl_proc, bool owns_chaos,
+                    bool owns_trace, bool owns_hist, const CtlRec& req,
+                    std::vector<pid_t>& grandkid) {
+  const int nprocs = config.nprocs;
+  const int k = req.proc;
+  MFC_CHECK(k > 0 && k < nprocs);
+  // Fresh wire resources for the dead process, created before the fork so
+  // the replacement inherits them. The survivor-side fds stay owned by the
+  // transport (its matrix rows), not by this call.
+  std::vector<int> peer_fds(static_cast<std::size_t>(nprocs), -1);
+  transport->respawn_refresh(k, peer_fds);
+  // Fork the replacement: seeded exponential backoff on transient failure
+  // (the same shape as the proc transport's respawn path).
+  pid_t pid = -1;
+  for (std::uint64_t tries = 0;; ++tries) {
+    pid = fork();
+    if (pid >= 0) break;
+    MFC_CHECK_MSG(tries < 64, "respawn fork failed permanently");
+    const std::uint64_t cap = std::min<std::uint64_t>(
+        50ULL << (tries < 6 ? tries : 6), 2000);
+    std::uint64_t us = cap;
+    if (chaos::enabled()) {
+      us = 1 + chaos::keyed_draw(chaos::Point::kProcKill, tries ^ req.arg,
+                                 cap);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  if (pid == 0) {
+    // The respawned incarnation: shed every zygote-only fd, then run the
+    // standard per-process machine body as proc k. transport->start()
+    // closes the other processes' socket rows (including the freshly
+    // shipped survivor ends), exactly as an original child's did.
+    for (int q = 0; q < nprocs; ++q) {
+      ::close(ctl_zyg[static_cast<std::size_t>(q)]);
+      if (q != k) ::close(ctl_proc[static_cast<std::size_t>(q)]);
+    }
+    ProcRun ctx;
+    ctx.config = &config;
+    ctx.entry = &entry;
+    ctx.transport = &transport;
+    ctx.my_proc = k;
+    ctx.respawn_gen = static_cast<int>(req.arg);
+    ctx.ctl_fd = ctl_proc[static_cast<std::size_t>(k)];
+    ctx.owns_chaos = owns_chaos;
+    ctx.owns_trace = owns_trace;
+    ctx.owns_hist = owns_hist;
+    run_machine_process(std::move(ctx));
+    std::_Exit(0);  // not reached: non-zero procs exit inside
+  }
+  grandkid[static_cast<std::size_t>(k)] = pid;
+  // Survivors swap to the fresh streams before process 0 learns the
+  // respawn completed, so recovery's first revive frame already rides the
+  // new wire. Collect every ack before reporting.
+  for (int j = 0; j < nprocs; ++j) {
+    if (j == k) continue;
+    ctl_send(ctl_zyg[static_cast<std::size_t>(j)],
+             CtlRec{kCtlPeerSwap, k, req.arg},
+             peer_fds[static_cast<std::size_t>(j)]);
+  }
+  int acks = 0;
+  while (acks < nprocs - 1) {
+    bool any = false;
+    for (int j = 0; j < nprocs; ++j) {
+      if (j == k) continue;
+      CtlRec ack;
+      int afd = -1;
+      if (ctl_recv(ctl_zyg[static_cast<std::size_t>(j)], &ack, &afd)) {
+        if (afd >= 0) ::close(afd);
+        MFC_CHECK_MSG(ack.type == kCtlSwapDone,
+                      "expected a swap ack on the zygote channel");
+        ++acks;
+        any = true;
+      }
+    }
+    if (!any) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ctl_send(ctl_zyg[0], CtlRec{kCtlRespawnDone, k, req.arg});
+}
+
+[[noreturn]] void zygote_main(const Machine::Config& config,
+                              const std::function<void(int)>& entry,
+                              std::unique_ptr<transport::Transport>& transport,
+                              std::vector<int> ctl_zyg,
+                              std::vector<int> ctl_proc, bool owns_chaos,
+                              bool owns_trace, bool owns_hist) {
+  const int nprocs = config.nprocs;
+  std::vector<pid_t> grandkid(static_cast<std::size_t>(nprocs), 0);
+  std::vector<pollfd> pfds(static_cast<std::size_t>(nprocs));
+  for (;;) {
+    for (int p = 0; p < nprocs; ++p) {
+      pfds[static_cast<std::size_t>(p)] =
+          pollfd{ctl_zyg[static_cast<std::size_t>(p)], POLLIN, 0};
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+    // Reap respawned incarnations; report abnormal deaths to process 0 —
+    // only this process, their parent, can waitpid them.
+    for (;;) {
+      int status = 0;
+      const pid_t r = waitpid(-1, &status, WNOHANG);
+      if (r <= 0) break;
+      for (int p = 0; p < nprocs; ++p) {
+        if (grandkid[static_cast<std::size_t>(p)] != r) continue;
+        grandkid[static_cast<std::size_t>(p)] = 0;
+        if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+          ctl_send(ctl_zyg[0], CtlRec{kCtlProcDeath, p, 0});
+        }
+      }
+    }
+    for (int src = 0; src < nprocs; ++src) {
+      CtlRec rec;
+      int fd = -1;
+      while (ctl_recv(ctl_zyg[static_cast<std::size_t>(src)], &rec, &fd)) {
+        if (fd >= 0) ::close(fd);  // no inbound record ships an fd
+        switch (rec.type) {
+          case kCtlReqRespawn:
+            zygote_respawn(config, entry, transport, ctl_zyg, ctl_proc,
+                           owns_chaos, owns_trace, owns_hist, rec, grandkid);
+            break;
+          case kCtlReqKill:
+            if (grandkid[static_cast<std::size_t>(rec.proc)] > 0) {
+              ::kill(grandkid[static_cast<std::size_t>(rec.proc)], SIGKILL);
+            }
+            break;
+          case kCtlShutdown:
+            for (const pid_t g : grandkid) {
+              if (g > 0) waitpid(g, nullptr, 0);
+            }
+            std::_Exit(0);
+          default:
+            MFC_CHECK_MSG(false, "unexpected record on the zygote channel");
+        }
+        fd = -1;
+      }
+    }
+    if ((pfds[0].revents & (POLLERR | POLLHUP)) != 0) {
+      // Process 0 died without a shutdown order: the run is gone; don't
+      // linger as an orphan.
+      std::_Exit(0);
+    }
+  }
 }
 
 }  // namespace
@@ -664,8 +1275,6 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
     MFC_CHECK_MSG(wire_on, "nprocs > 1 requires a wire transport");
     MFC_CHECK_MSG(config.npes % config.nprocs == 0,
                   "npes must divide evenly across processes");
-    MFC_CHECK_MSG(!g_ft_hooks_set,
-                  "FT hooks are single-process (use loopback wire mode)");
   }
   register_builtin_handlers();
 
@@ -726,6 +1335,35 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
                     : transport::make_socket_transport(topt);
   }
 
+  // ---- Process-tier FT: fork the respawn zygote. ----
+  // It must come from this pristine pre-fork image — after the kids fork
+  // below, every live process carries threads and divergent state a
+  // replacement must not inherit. One SEQPACKET pair per machine process
+  // carries the control protocol.
+  const bool ft_respawn = g_ft_hooks_set && config.nprocs > 1;
+  std::vector<int> ctl_proc;
+  pid_t zygote_pid = 0;
+  if (ft_respawn) {
+    ctl_proc.assign(static_cast<std::size_t>(config.nprocs), -1);
+    std::vector<int> ctl_zyg(static_cast<std::size_t>(config.nprocs), -1);
+    for (int p = 0; p < config.nprocs; ++p) {
+      int sv[2];
+      MFC_CHECK_MSG(::socketpair(AF_UNIX, SOCK_SEQPACKET, 0, sv) == 0,
+                    "machine ctl socketpair failed");
+      ctl_proc[static_cast<std::size_t>(p)] = sv[0];
+      ctl_zyg[static_cast<std::size_t>(p)] = sv[1];
+    }
+    zygote_pid = fork();
+    MFC_CHECK_MSG(zygote_pid >= 0, "respawn zygote fork failed");
+    if (zygote_pid == 0) {
+      // The zygote keeps both fd arrays: its own ends to serve the
+      // protocol, the proc ends so future respawns inherit theirs.
+      zygote_main(config, entry, transport, std::move(ctl_zyg),
+                  std::move(ctl_proc), owns_chaos, owns_trace, owns_hist);
+    }
+    for (const int fd : ctl_zyg) ::close(fd);
+  }
+
   // ---- Fork: process k hosts PEs [k*ppn, (k+1)*ppn). ----
   // No threads exist yet in this process, so the children are clean
   // single-threaded images of the shared setup above.
@@ -742,201 +1380,54 @@ void Machine::run(const Config& config, std::function<void(int)> entry) {
     }
   }
 
-  // ---- Per-process machine state (post-fork). ----
-  const int ppn = config.npes / config.nprocs;
-  g_machine = new MachineState();
-  g_machine->npes = config.npes;
-  g_machine->mutex_baseline = config.mutex_baseline;
-  g_machine->chaos_delay =
-      chaos::enabled() && chaos::config().delivery_delay > 0.0;
-  g_machine->ft_on = g_ft_hooks_set;
-  g_machine->nprocs = config.nprocs;
-  g_machine->my_proc = my_proc;
-  g_machine->ppn = ppn;
-  g_machine->local_first = my_proc * ppn;
-  g_machine->local_npes = ppn;
-  g_machine->transport = transport.get();
-  // Stamp observability provenance with the post-fork identity: metrics
-  // snapshots record which process they came from, trace parts record the
-  // local PE range they own, the flight recorder names its dump file.
-  metrics::set_proc(my_proc, config.nprocs);
-  flight::set_proc(my_proc, config.nprocs);
-  if (trace::active()) {
-    trace::set_proc(my_proc, config.nprocs, g_machine->local_first,
-                    g_machine->local_npes);
-  }
-  if (g_machine->ft_on) {
-    MFC_CHECK_MSG(!config.mutex_baseline,
-                  "FT hooks require the lock-free messaging path");
-    g_machine->dead =
-        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(config.npes));
-    g_machine->wipe_pending =
-        std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(config.npes));
-  }
-  g_machine->pool_cap = config.pool_cap;
-  g_machine->pes.resize(static_cast<std::size_t>(config.npes));
-  for (int i = g_machine->local_first;
-       i < g_machine->local_first + g_machine->local_npes; ++i) {
-    auto pe = std::make_unique<Pe>();
-    pe->id = i;
-    g_machine->pes[static_cast<std::size_t>(i)] = std::move(pe);
-  }
-
-  if (transport) {
-    transport::Hooks hooks;
-    hooks.alloc = [](const wire::Header& h, std::uint64_t total_len) {
-      Message* m = create_message();
-      m->handler = h.handler;
-      m->src_pe = h.src_pe;
-      m->dest_pe = h.dest_pe;
-      m->trace_flow = h.trace_flow;
-      // Adopted into the destination PE's pool on release (the comm thread
-      // allocates, the destination PE frees).
-      m->pool_pe = h.dest_pe;
-      m->payload.resize(static_cast<std::size_t>(total_len));
-      return m;
-    };
-    hooks.enqueue = [](Message* m) {
-      Pe* dest = g_machine->pes[static_cast<std::size_t>(m->dest_pe)].get();
-      MFC_CHECK_MSG(dest != nullptr, "wire delivery to a non-local PE");
-      // Queue-wait for wire arrivals measures local-queue residency only
-      // (stamps never cross processes; tsc domains may differ).
-      m->stamp = hist::on() ? rdtsc() : 0;
-      dest->queue.push(m);
-    };
-    hooks.drop = [](Message* m) { drain_message(m); };
-    hooks.on_proc_done = [] {
-      if (g_machine->procs_done.fetch_add(1) + 1 == g_machine->nprocs) {
-        g_machine->transport->broadcast_stop();
+  ProcRun ctx;
+  ctx.config = &config;
+  ctx.entry = &entry;
+  ctx.transport = &transport;
+  ctx.my_proc = my_proc;
+  ctx.zygote_pid = zygote_pid;
+  ctx.kids = std::move(kids);
+  ctx.owns_chaos = owns_chaos;
+  ctx.owns_trace = owns_trace;
+  ctx.owns_hist = owns_hist;
+  if (ft_respawn) {
+    // Each machine process keeps only its own ctl end.
+    for (int p = 0; p < config.nprocs; ++p) {
+      if (p == my_proc) {
+        ctx.ctl_fd = ctl_proc[static_cast<std::size_t>(p)];
+      } else {
+        ::close(ctl_proc[static_cast<std::size_t>(p)]);
       }
-    };
-    hooks.on_stop = [] {
-      g_machine->stop.store(true);
-      for (auto& pe : g_machine->pes) {
-        if (pe) {
-          pe->queue.wake();
-          pe->legacy_queue.wake();
-        }
-      }
-      g_machine->transport->stop_local();
-    };
-    if (!kids.empty()) {
-      // Parent-only liveness policing: a child that dies before reporting
-      // ProcDone would hang the stop protocol — turn it into a crash.
-      auto reaped = std::make_shared<std::vector<bool>>(kids.size(), false);
-      auto kid_list = std::make_shared<std::vector<pid_t>>(kids);
-      hooks.idle = [reaped, kid_list] {
-        for (std::size_t k = 0; k < kid_list->size(); ++k) {
-          if ((*reaped)[k]) continue;
-          int status = 0;
-          const pid_t r = waitpid((*kid_list)[k], &status, WNOHANG);
-          if (r == (*kid_list)[k]) {
-            (*reaped)[k] = true;
-            MFC_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
-                          "machine child process died");
-          }
-        }
-      };
     }
-    transport->start(my_proc, std::move(hooks));
   }
+  const int my_ctl = ctx.ctl_fd;
+  run_machine_process(std::move(ctx));  // children _Exit(0) inside
 
-  // Cross-process slot leasing: release() must clear the `used` bit in the
-  // slot's birth process (the one whose strip bitmap tracks it), so
-  // non-local releases evacuate locally then forward a free order.
-  if (config.nprocs > 1) {
-    iso::Region::set_lease(
-        [](int pe) { return pe_local(pe); },
-        [](iso::SlotId id) { send_value(id.pe, h_iso_release, id); });
-  }
-
-  // Wedge watchdog (MFC_WEDGE_MS=<n>, off by default): a per-process
-  // monitor thread that fires the flight recorder if the local message
-  // counters sit still for n ms while the machine is supposedly running.
-  // Each process polices itself, so a machine-wide wedge produces one
-  // black-box dump per process without any cross-process coordination.
-  std::atomic<bool> wedge_stop{false};
-  std::thread wedge;
-  long wedge_ms = 0;
-  if (const char* env = std::getenv("MFC_WEDGE_MS");
-      env != nullptr && *env != '\0') {
-    wedge_ms = std::strtol(env, nullptr, 10);
-  }
-  if (wedge_ms > 0) {
-    wedge = std::thread([&wedge_stop, wedge_ms] {
-      const auto poll = std::chrono::milliseconds(
-          wedge_ms / 4 > 50 ? 50 : (wedge_ms / 4 > 0 ? wedge_ms / 4 : 1));
-      std::uint64_t last = ~0ull;
-      auto last_move = std::chrono::steady_clock::now();
-      while (!wedge_stop.load(std::memory_order_acquire)) {
-        std::this_thread::sleep_for(poll);
-        const std::uint64_t cur = total_sent() + total_delivered();
-        const auto now = std::chrono::steady_clock::now();
-        if (cur != last) {
-          last = cur;
-          last_move = now;
-        } else if (now - last_move >= std::chrono::milliseconds(wedge_ms)) {
-          trace::flight::dump("wedge");
-          return;
-        }
-      }
-    });
-  }
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(g_machine->local_npes));
-  for (int i = g_machine->local_first;
-       i < g_machine->local_first + g_machine->local_npes; ++i) {
-    threads.emplace_back(pe_loop, g_machine->pes[static_cast<std::size_t>(i)].get(),
-                         std::cref(entry));
-  }
-  for (auto& t : threads) t.join();
-
-  if (wedge.joinable()) {
-    wedge_stop.store(true, std::memory_order_release);
-    wedge.join();
-  }
-
-  if (transport) {
-    transport->stop_local();
-    transport->join();
-  }
-  if (config.nprocs > 1) iso::Region::clear_lease();
-
-  if (my_proc != 0) {
-    // Child teardown mirrors the parent's but ends in _Exit: the child must
-    // not run atexit handlers or static destructors for state the parent
-    // still owns. Books are checked per-process (the pes vector only drains
-    // local envelopes).
-    delete g_machine;
-    g_machine = nullptr;
-    if (owns_chaos) chaos::uninstall();
-    if (owns_trace) {
-      // Binary part, not JSON: the parent merges every process's part into
-      // one clock-aligned timeline after it reaps the children.
-      trace::stop_and_export_part(trace::env_file() + ".part" +
-                                  std::to_string(my_proc));
+  // Parent (process 0): collect any children the idle hook hadn't reaped
+  // yet. With the process tier armed an abnormal exit was a recovered (or
+  // being-recovered) failure, not a protocol violation.
+  for (std::size_t k = 0; k < g_machine->kids.size(); ++k) {
+    if (g_machine->kids_reaped != nullptr &&
+        g_machine->kids_reaped[k].load(std::memory_order_acquire)) {
+      continue;
     }
-    if (owns_hist) {
-      hist::write_stats_json(hist::env_file() + ".proc" +
-                             std::to_string(my_proc));
-      hist::enable(false);
-    }
-    MFC_CHECK_MSG(metrics::total(metrics::Counter::kMsgsAllocated) ==
-                      metrics::total(metrics::Counter::kMsgsFreed),
-                  "message envelopes leaked at machine shutdown (child)");
-    transport.reset();
-    std::_Exit(0);
-  }
-
-  // Parent: collect any children the idle hook hadn't reaped yet.
-  for (const pid_t kid : kids) {
     int status = 0;
-    const pid_t r = waitpid(kid, &status, 0);
-    if (r == kid) {
-      MFC_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+    const pid_t r = waitpid(g_machine->kids[k], &status, 0);
+    if (r == g_machine->kids[k]) {
+      MFC_CHECK_MSG((WIFEXITED(status) && WEXITSTATUS(status) == 0) ||
+                        ft_respawn,
                     "machine child process exited abnormally");
     }
+  }
+  if (ft_respawn) {
+    // Zygote shutdown handshake: it blocks reaping every respawned
+    // incarnation (they exit through the same stop broadcast), then exits.
+    ctl_send(my_ctl, CtlRec{kCtlShutdown, 0, 0});
+    int zstatus = 0;
+    waitpid(zygote_pid, &zstatus, 0);
+    MFC_CHECK_MSG(WIFEXITED(zstatus) && WEXITSTATUS(zstatus) == 0,
+                  "respawn zygote exited abnormally");
+    ::close(my_ctl);
   }
   transport.reset();
 
@@ -1193,10 +1684,30 @@ void clear_ft_machine_hooks() {
   g_ft_hooks_set = false;
 }
 
+namespace {
+
+/// Remote-PE tail shared by kill_pe/revive_pe: ships a kFtCtl frame to the
+/// process hosting `pe`; its comm thread flips the flags (hooks.ft_ctl).
+void send_ft_ctl(int pe, std::uint64_t op) {
+  MFC_CHECK_MSG(t_pe != nullptr && g_machine->transport != nullptr,
+                "cross-process kill/revive requires a PE thread and a wire");
+  wire::Header h;
+  h.src_pe = t_pe->id;
+  h.dest_pe = pe;
+  h.msg_id = op;
+  g_machine->transport->send_ctl(h);
+}
+
+}  // namespace
+
 void kill_pe(int pe) {
   MFC_CHECK(g_machine != nullptr && g_machine->ft_on);
   MFC_CHECK_MSG(pe > 0 && pe < g_machine->npes,
                 "PE 0 is the FT coordinator and cannot be killed");
+  if (!pe_local(pe)) {
+    send_ft_ctl(pe, 0);
+    return;
+  }
   g_machine->dead[pe].store(true, std::memory_order_release);
   // If the victim was parked idle, wake it so its loop observes the flag
   // (a wake with no data pops nullptr and re-enters the loop top).
@@ -1206,6 +1717,12 @@ void kill_pe(int pe) {
 void revive_pe(int pe) {
   MFC_CHECK(g_machine != nullptr && g_machine->ft_on);
   MFC_CHECK(pe > 0 && pe < g_machine->npes);
+  if (!pe_local(pe)) {
+    // Rides the same ordered stream as ordinary sends from this PE, so the
+    // revive (and its wipe) lands before any refill sent afterwards.
+    send_ft_ctl(pe, 1);
+    return;
+  }
   // Order matters: the wipe flag must be visible before the loop escapes
   // its dead spin, so the on_revive hook always precedes the backlog drain.
   g_machine->wipe_pending[pe].store(true, std::memory_order_release);
@@ -1214,8 +1731,74 @@ void revive_pe(int pe) {
 
 bool pe_dead(int pe) {
   return g_machine != nullptr && g_machine->ft_on && pe >= 0 &&
-         pe < g_machine->npes &&
+         pe < g_machine->npes && pe_local(pe) &&
          g_machine->dead[pe].load(std::memory_order_acquire);
+}
+
+int respawn_generation() {
+  return g_machine != nullptr ? g_machine->respawn_gen : 0;
+}
+
+bool ft_proc_respawn_enabled() {
+  return g_machine != nullptr && g_machine->ft_respawn;
+}
+
+int take_dead_proc() {
+  if (g_machine == nullptr || !g_machine->ft_respawn) return -1;
+  return g_machine->dead_proc_event.exchange(-1, std::memory_order_acq_rel);
+}
+
+void request_respawn(int proc) {
+  MachineState* st = g_machine;
+  MFC_CHECK(st != nullptr && st->ft_respawn && st->my_proc == 0);
+  MFC_CHECK(proc > 0 && proc < st->nprocs);
+  st->proc_respawned[static_cast<std::size_t>(proc)] = true;
+  ctl_send(st->ctl_fd, CtlRec{kCtlReqRespawn, proc, ++st->next_respawn_gen});
+}
+
+bool take_respawn_complete(int proc) {
+  MachineState* st = g_machine;
+  if (st == nullptr || !st->ft_respawn) return false;
+  int expect = proc;
+  return st->respawn_done_event.compare_exchange_strong(
+      expect, -1, std::memory_order_acq_rel);
+}
+
+void kill_proc(int proc) {
+  MachineState* st = g_machine;
+  MFC_CHECK(st != nullptr && st->ft_respawn && st->my_proc == 0);
+  MFC_CHECK_MSG(proc > 0 && proc < st->nprocs,
+                "process 0 hosts the FT coordinator and cannot be killed");
+  if (st->proc_respawned[static_cast<std::size_t>(proc)]) {
+    // The current incarnation is a zygote grandchild; only the zygote
+    // holds its pid.
+    ctl_send(st->ctl_fd, CtlRec{kCtlReqKill, proc, 0});
+    return;
+  }
+  const std::size_t k = static_cast<std::size_t>(proc - 1);
+  if (!st->kids_reaped[k].load(std::memory_order_acquire)) {
+    ::kill(st->kids[k], SIGKILL);
+  }
+}
+
+void begin_qd_drain() {
+  MFC_CHECK(g_machine != nullptr);
+  g_machine->qd_drain.store(true, std::memory_order_release);
+}
+
+void end_qd_drain() {
+  MFC_CHECK(g_machine != nullptr);
+  g_machine->qd_drain.store(false, std::memory_order_release);
+}
+
+void iso_claim(const iso::SlotId& id) {
+  MFC_CHECK(g_machine != nullptr && id.valid());
+  if (pe_local(id.pe)) {
+    iso::Region::instance().reassert(id);
+    return;
+  }
+  metrics::bump(Counter::kFtSent);
+  send_value(id.pe, h_iso_claim, id);
 }
 
 }  // namespace mfc::converse

@@ -163,8 +163,13 @@ class Machine {
     /// is required; Machine::run forks nprocs-1 children after the shared
     /// resources (chaos, trace rings, iso region, transport segments) are
     /// created, so every address space inherits them. npes must divide
-    /// evenly; process k hosts PEs [k*ppn, (k+1)*ppn). FT hooks and
-    /// mutex_baseline are process-local features and are rejected.
+    /// evenly; process k hosts PEs [k*ppn, (k+1)*ppn). mutex_baseline is a
+    /// process-local feature and is rejected. FT hooks installed on a
+    /// multi-process machine additionally arm whole-process fault
+    /// tolerance: a respawn zygote is forked from the pristine pre-fork
+    /// image, process 0 polices child liveness, and a SIGKILLed process
+    /// can be respawned and rewired mid-run (see the process-tier API at
+    /// the bottom of this header).
     int nprocs = 1;
     Transport transport = Transport::kInProc;
     /// Per-(dest-process, source-PE) SPSC ring capacity for the shm
@@ -320,13 +325,71 @@ void clear_ft_machine_hooks();
 /// threads (they stay queued/parked — this emulation models the *machine's*
 /// recovery protocol, not OS-level process death; see DESIGN.md "Fault
 /// tolerance"). Requires FT hooks installed and pe != 0. Callable from any
-/// PE thread, including the victim itself.
+/// PE thread, including the victim itself. A non-local `pe` is reached via
+/// a machine-level control frame (kFtCtl); its process's comm thread flips
+/// the flags.
 void kill_pe(int pe);
 
 /// Clears the dead flag and schedules the on_revive hook; the PE's loop
-/// resumes, wipes via the hook, then drains its backlog.
+/// resumes, wipes via the hook, then drains its backlog. Works across
+/// processes like kill_pe.
 void revive_pe(int pe);
 
+/// Local-process view only: a remote PE's death flag is not observable
+/// here.
 bool pe_dead(int pe);
+
+// ---- Process-tier fault tolerance (armed when FT hooks are installed on
+// a multi-process machine) ----
+//
+// Detection: process 0's comm thread reaps dead children (waitpid) and
+// parks the observation in a mailbox the FT tick drains via
+// take_dead_proc(). Recovery: request_respawn(proc) asks the zygote for a
+// fresh incarnation; the zygote refreshes the dead process's wire
+// resources, forks the replacement from the pristine pre-fork image
+// (seeded exponential backoff), ships survivors the new stream ends over
+// SCM_RIGHTS, and reports completion — observable via
+// take_respawn_complete(). The respawned incarnation boots with all its
+// PEs dead; the FT layer revives and refills them through the ordinary
+// two-phase rollback.
+
+/// 0 in an original process; the respawn generation (1, 2, …) in a
+/// respawned incarnation. Application entry functions branch on this to
+/// park reborn mains until recovery completes.
+int respawn_generation();
+
+/// True when whole-process kill + respawn is armed (FT hooks + nprocs > 1).
+bool ft_proc_respawn_enabled();
+
+/// Drains the dead-process mailbox: returns a process id whose death was
+/// detected (comm-thread waitpid or zygote report), -1 if none. PE 0's FT
+/// tick polls this.
+int take_dead_proc();
+
+/// Asks the zygote to respawn dead process `proc` (process 0, PE thread).
+void request_respawn(int proc);
+
+/// True once `proc`'s respawn completed (survivors rewired, replacement
+/// running); consumes the completion event.
+bool take_respawn_complete(int proc);
+
+/// SIGKILLs process `proc` (whole-process chaos; process 0 only, proc != 0).
+/// Original children die by direct signal; respawned incarnations are
+/// killed through the zygote, which holds their pids.
+void kill_proc(int proc);
+
+/// Quiescence drain mode, bracketing recovery's settle wave: messages died
+/// with the killed process, so send/deliver balance is unreachable. In
+/// drain mode the detector instead requires every PE idle, every transport
+/// quiescent, and counts frozen across two waves — and records the settled
+/// deficit as the baseline later exact rounds compare against.
+void begin_qd_drain();
+void end_qd_drain();
+
+/// Re-asserts an isomalloc slot lease in the slot's birth process (local
+/// call or cross-process message). Recovery replays restored threads' slot
+/// ids through this so a respawned process's fresh bitmap copy re-learns
+/// the allocations it must not hand out again.
+void iso_claim(const iso::SlotId& id);
 
 }  // namespace mfc::converse

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -190,6 +191,46 @@ class ShmTransport final : public Transport {
     if (comm_.joinable()) comm_.join();
   }
 
+  void send_ctl(const wire::Header& hdr) override {
+    wire::Header h = hdr;
+    h.kind = static_cast<std::uint32_t>(Kind::kFtCtl);
+    h.payload_len = 0;
+    const int dproc = h.dest_pe / ppn_;
+    if (dproc == my_proc_) {
+      if (hooks_.ft_ctl) hooks_.ft_ctl(h);
+      return;
+    }
+    push_wait(producer_view(h.src_pe, dproc), h, nullptr, 0, true);
+  }
+
+  bool quiescent() override {
+    // The rings live in shared memory, so one process can observe the
+    // whole machine's in-flight bytes. A frame popped but not yet
+    // enqueued is covered by the QD wave's unchanged-counts rule.
+    for (int d = 0; d < opt_.nprocs; ++d)
+      for (int s = 0; s <= opt_.npes; ++s)
+        if (!seg_.ring(d, s).empty()) return false;
+    return true;
+  }
+
+  void attach_peer(int proc, int fd, std::uint64_t gen) override {
+    // The rings are crash-consistent (frames become visible only at the
+    // tail publish), so the respawn keeps them: its consumer drains
+    // whatever the old incarnation left unread, and its producers start
+    // from the shared tails. Only receive-side state referring to the old
+    // incarnation needs discarding: messages it half-shipped will never
+    // see their remaining chunks.
+    MFC_CHECK(fd < 0);
+    (void)gen;
+    for (int lp = 0; lp < ppn_; ++lp) {
+      Assembly& a = assembly_[static_cast<std::size_t>(proc * ppn_ + lp)];
+      if (a.m != nullptr) {
+        hooks_.drop(a.m);
+        a.m = nullptr;
+      }
+    }
+  }
+
  private:
   /// One in-progress chunked (or about-to-be-enqueued eager) message per
   /// SPSC ring: the producer finishes one message before starting the next,
@@ -201,22 +242,40 @@ class ShmTransport final : public Transport {
   struct Sink {
     ShmTransport* t = nullptr;
     int slot = 0;
+    /// Drops a half-assembled message left by a producer that died between
+    /// chunks; only legal when peer loss is tolerated.
+    void drop_stale(Assembly& a) {
+      MFC_CHECK_MSG(t->hooks_.tolerate_peer_loss,
+                    "new message before the previous chunk sequence ended");
+      t->hooks_.drop(a.m);
+      a.m = nullptr;
+    }
+
     char* on_header(const wire::Header& h) {
       switch (static_cast<Kind>(h.kind)) {
         case Kind::kEager: {
           Assembly& a = t->assembly_[static_cast<std::size_t>(slot)];
+          if (a.m != nullptr) drop_stale(a);
           a.m = t->hooks_.alloc(h, h.payload_len);
           return payload_ptr(a.m);
         }
         case Kind::kChunk: {
           Assembly& a = t->assembly_[static_cast<std::size_t>(slot)];
           if (h.offset == 0) {
+            if (a.m != nullptr) drop_stale(a);
             a.m = t->hooks_.alloc(h, h.total_len);
             trace::emit(trace::Ev::kWireAsmBegin, h.trace_flow, 0,
                         static_cast<std::uint32_t>(h.total_len),
                         static_cast<std::int16_t>(h.src_pe));
           }
-          MFC_CHECK(a.m != nullptr);
+          if (a.m == nullptr) {
+            // Orphan tail: the dead incarnation consumed this message's
+            // head chunks before it was killed. Skip the bytes (the ring
+            // stays framed — try_pop advances past unclaimed payloads).
+            MFC_CHECK_MSG(t->hooks_.tolerate_peer_loss,
+                          "chunk continuation with no assembly in progress");
+            return nullptr;
+          }
           return payload_ptr(a.m) + h.offset;
         }
         default:
@@ -235,7 +294,7 @@ class ShmTransport final : public Transport {
           a.m = nullptr;
           break;
         case Kind::kChunk:
-          if (h.offset + h.payload_len == h.total_len) {
+          if (a.m != nullptr && h.offset + h.payload_len == h.total_len) {
             metrics::bump(Counter::kWireDelivered);
             trace::emit(trace::Ev::kWireAsmEnd);
             trace::emit(trace::Ev::kWireDeliver, h.trace_flow, 0,
@@ -250,6 +309,9 @@ class ShmTransport final : public Transport {
           break;
         case Kind::kStop:
           t->hooks_.on_stop();
+          break;
+        case Kind::kFtCtl:
+          if (t->hooks_.ft_ctl) t->hooks_.ft_ctl(h);
           break;
         default:
           MFC_CHECK_MSG(false, "unexpected frame kind on shm ring");
@@ -290,14 +352,20 @@ class ShmTransport final : public Transport {
     for (int s = 0; s < nslots; ++s)
       sinks[static_cast<std::size_t>(s)] = {this, s};
     std::uint64_t idle_rounds = 0;
+    std::uint64_t rounds = 0;
     for (;;) {
       bool any = false;
       for (int s = 0; s < nslots; ++s) {
         shm::RingView rv = seg_.ring(my_proc_, s);
         while (rv.try_pop(sinks[static_cast<std::size_t>(s)])) any = true;
       }
+      ++rounds;
       if (any) {
         idle_rounds = 0;
+        // A busy comm thread must still service the machine's idle hook:
+        // the respawn control channel (peer-swap orders) rides it, and a
+        // recovery storm keeps the rings hot for its whole duration.
+        if (hooks_.idle && (rounds & 63) == 0) hooks_.idle();
         continue;
       }
       if (stop_.load(std::memory_order_acquire)) break;
@@ -337,6 +405,47 @@ class ShmTransport final : public Transport {
 // ---------------------------------------------------------------------------
 // Socket/stream transport (AF_UNIX socketpairs; AF_INET-shaped framing).
 // ---------------------------------------------------------------------------
+
+/// FdIo variant for peer-loss-tolerant mode. Plain FdIo treats EPIPE as a
+/// silent drop and polls a full send buffer forever; with a killable peer
+/// both are wrong: a stalled buffer toward a dead process never drains, and
+/// a reset mid-frame must surface so the frame can be retried on the
+/// replacement stream. Every stall and reset bumps kWireRetries; the
+/// POLLOUT patience is bounded so the comm path stays live.
+class RobustIo {
+ public:
+  explicit RobustIo(int fd) : fd_(fd) {}
+
+  std::ptrdiff_t read_some(void* dst, std::size_t n) {
+    wire::FdIo io(fd_);
+    return io.read_some(dst, n);
+  }
+
+  std::ptrdiff_t write_some(const iovec* iov, int iovcnt) {
+    int stalls = 0;
+    for (;;) {
+      msghdr mh{};
+      mh.msg_iov = const_cast<iovec*>(iov);
+      mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
+      ssize_t w = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+      if (w > 0) return w;
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        metrics::bump(Counter::kWireRetries);
+        if (++stalls > kMaxStalls) return 0;
+        pollfd p{fd_, POLLOUT, 0};
+        ::poll(&p, 1, 100);
+        continue;
+      }
+      metrics::bump(Counter::kWireRetries);  // EPIPE / ECONNRESET
+      return 0;
+    }
+  }
+
+ private:
+  static constexpr int kMaxStalls = 50;  ///< ~5 s of POLLOUT patience
+  int fd_ = -1;
+};
 
 class SocketTransport final : public Transport {
  public:
@@ -380,6 +489,8 @@ class SocketTransport final : public Transport {
     hooks_ = std::move(hooks);
     send_fd_.assign(static_cast<std::size_t>(opt_.nprocs), -1);
     send_mu_ = std::make_unique<std::mutex[]>(
+        static_cast<std::size_t>(opt_.nprocs));
+    peer_gen_ = std::make_unique<std::atomic<std::uint64_t>[]>(
         static_cast<std::size_t>(opt_.nprocs));
     if (opt_.nprocs == 1) {
       send_fd_[0] = loop_send_;
@@ -426,13 +537,9 @@ class SocketTransport final : public Transport {
         wire::spans_gather(staged.data(), spans, n);
         on_consumed();
         wire::Span s{staged.data(), staged.size()};
-        std::lock_guard<std::mutex> lk(send_mu_[dproc]);
-        wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
-        wire::write_frame(io, h, &s, 1);
+        robust_write(dproc, h, &s, 1, /*can_wait=*/true);
       } else {
-        std::lock_guard<std::mutex> lk(send_mu_[dproc]);
-        wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
-        wire::write_frame(io, h, spans, n);
+        robust_write(dproc, h, spans, n, /*can_wait=*/true);
       }
       trace::emit(trace::Ev::kWireSendEnd, 0, 0,
                   static_cast<std::uint32_t>(h.payload_len +
@@ -451,6 +558,7 @@ class SocketTransport final : public Transport {
     trace::emit(trace::Ev::kWireSendBegin, h.trace_flow, kTraceRdv, 0,
                 static_cast<std::int16_t>(h.dest_pe));
     PendingSend ps;
+    ps.dproc = dproc;
     {
       std::lock_guard<std::mutex> lk(rdv_mu_);
       pending_sends_[id] = &ps;
@@ -460,20 +568,17 @@ class SocketTransport final : public Transport {
     rts.payload_len = 0;
     rts.total_len = h.payload_len;
     rts.msg_id = id;
-    {
-      std::lock_guard<std::mutex> lk(send_mu_[dproc]);
-      wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
-      wire::write_frame(io, rts, nullptr, 0);
-    }
+    robust_write(dproc, rts, nullptr, 0, /*can_wait=*/true);
     trace::emit(trace::Ev::kWireRts, id, 0,
                 static_cast<std::uint32_t>(h.payload_len),
                 static_cast<std::int16_t>(h.dest_pe));
     metrics::bump(Counter::kWireSentFrames);
     {
       std::unique_lock<std::mutex> lk(ps.mu);
-      while (!ps.go) {
+      while (!ps.go && !ps.aborted) {
         ps.cv.wait_for(lk, std::chrono::milliseconds(100));
-        if (!ps.go && stop_.load(std::memory_order_acquire)) break;
+        if (!ps.go && !ps.aborted && stop_.load(std::memory_order_acquire))
+          break;
       }
     }
     {
@@ -486,11 +591,7 @@ class SocketTransport final : public Transport {
       data.msg_id = id;
       data.total_len = h.payload_len;
       metrics::bump(Counter::kWireSentFrames);
-      {
-        std::lock_guard<std::mutex> lk(send_mu_[dproc]);
-        wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
-        wire::write_frame(io, data, spans, n);
-      }
+      robust_write(dproc, data, spans, n, /*can_wait=*/true);
       trace::emit(trace::Ev::kWireRdvDone, id, 0,
                   static_cast<std::uint32_t>(h.payload_len));
     }
@@ -509,9 +610,7 @@ class SocketTransport final : public Transport {
     h.kind = static_cast<std::uint32_t>(Kind::kProcDone);
     h.src_pe = src_pe;
     h.dest_pe = 0;
-    std::lock_guard<std::mutex> lk(send_mu_[0]);
-    wire::FdIo io(send_fd_[0]);
-    wire::write_frame(io, h, nullptr, 0);
+    robust_write(0, h, nullptr, 0, /*can_wait=*/true);
   }
 
   void broadcast_stop() override {
@@ -519,9 +618,7 @@ class SocketTransport final : public Transport {
     h.kind = static_cast<std::uint32_t>(Kind::kStop);
     for (int d = 0; d < opt_.nprocs; ++d) {
       if (d == my_proc_) continue;
-      std::lock_guard<std::mutex> lk(send_mu_[d]);
-      wire::FdIo io(send_fd_[static_cast<std::size_t>(d)]);
-      wire::write_frame(io, h, nullptr, 0);
+      robust_write(d, h, nullptr, 0, /*can_wait=*/true);
     }
     hooks_.on_stop();
   }
@@ -546,12 +643,159 @@ class SocketTransport final : public Transport {
     if (comm_.joinable()) comm_.join();
   }
 
+  void send_ctl(const wire::Header& hdr) override {
+    wire::Header h = hdr;
+    h.kind = static_cast<std::uint32_t>(Kind::kFtCtl);
+    h.payload_len = 0;
+    const int dproc = h.dest_pe / ppn_;
+    if (dproc == my_proc_) {
+      if (hooks_.ft_ctl) hooks_.ft_ctl(h);
+      return;
+    }
+    robust_write(dproc, h, nullptr, 0, /*can_wait=*/true);
+  }
+
+  bool quiescent() override {
+    // AF_UNIX stream bytes buffer at the receiver, so FIONREAD on the
+    // local recv fds sees everything written toward this process. A frame
+    // mid-read implies its tail is still unwritten (the writer loops until
+    // whole-frame completion), which keeps some PE thread busy and the QD
+    // wave unquiet. Rendezvous handshakes park state on both sides; count
+    // them explicitly.
+    for (const auto& [fd, peer] : recv_) {
+      (void)peer;
+      if (fd < 0) continue;
+      int avail = 0;
+      if (::ioctl(fd, FIONREAD, &avail) == 0 && avail > 0) return false;
+    }
+    if (rdv_landing_.load(std::memory_order_acquire) != 0) return false;
+    std::lock_guard<std::mutex> lk(rdv_mu_);
+    return pending_sends_.empty();
+  }
+
+  void respawn_refresh(int proc, std::vector<int>& peer_fds) override {
+    // Zygote-side: runs in the pristine pre-start image, where ends_ still
+    // holds the full pairwise matrix. Closing the zygote's copies of the
+    // dead pairs matters twice over — survivors only see EPIPE/EOF once no
+    // live process holds the old write ends, and the respawn must inherit
+    // only the fresh pairs. The survivor-side fds of those fresh pairs
+    // stay open here (ends_ rows j) so a *later* respawn of a survivor
+    // can still be forked with a complete matrix; they are closed when
+    // this proc is refreshed again.
+    MFC_CHECK(opt_.nprocs > 1 && comm_.joinable() == false);
+    peer_fds.assign(static_cast<std::size_t>(opt_.nprocs), -1);
+    for (int j = 0; j < opt_.nprocs; ++j) {
+      if (j == proc) continue;
+      int& a = ends_[static_cast<std::size_t>(proc)][static_cast<std::size_t>(j)];
+      int& b = ends_[static_cast<std::size_t>(j)][static_cast<std::size_t>(proc)];
+      if (a >= 0) ::close(a);
+      if (b >= 0) ::close(b);
+      int sv[2];
+      MFC_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0);
+      a = sv[0];  // inherited by the respawned process at fork
+      b = sv[1];  // shipped to survivor j over SCM_RIGHTS
+      peer_fds[static_cast<std::size_t>(j)] = b;
+    }
+  }
+
+  void attach_peer(int proc, int fd, std::uint64_t gen) override {
+    MFC_CHECK(fd >= 0 && proc != my_proc_);
+    {
+      std::lock_guard<std::mutex> lk(send_mu_[proc]);
+      int& alias = opt_.nprocs > 1
+                       ? ends_[static_cast<std::size_t>(my_proc_)]
+                              [static_cast<std::size_t>(proc)]
+                       : loop_send_;
+      if (send_fd_[static_cast<std::size_t>(proc)] >= 0)
+        ::close(send_fd_[static_cast<std::size_t>(proc)]);
+      alias = fd;  // keep close_all single-close
+      send_fd_[static_cast<std::size_t>(proc)] = fd;
+      // Publish last: a sender parked on the dead stream re-reads the fd
+      // under send_mu_ once it observes the generation move.
+      peer_gen_[static_cast<std::size_t>(proc)].store(
+          gen, std::memory_order_release);
+    }
+    // Receive-side surgery is comm-thread-local state; attach_peer runs on
+    // the comm thread (machine idle hook), so plain accesses are safe.
+    for (std::size_t i = 0; i < recv_.size(); ++i) {
+      if (recv_[i].second != proc) continue;
+      recv_[i].first = fd;
+      if (sinks_[i].cur != nullptr) {
+        hooks_.drop(sinks_[i].cur);
+        sinks_[i].cur = nullptr;
+      }
+      readers_[i].reset();
+      ios_[i] = wire::FdIo(fd);
+    }
+    // Pre-sized rendezvous landings whose kData died with the sender.
+    for (auto it = pending_recvs_.begin(); it != pending_recvs_.end();) {
+      if (static_cast<int>(it->first >> 48) == proc) {
+        hooks_.drop(it->second);
+        rdv_landing_.fetch_sub(1, std::memory_order_acq_rel);
+        it = pending_recvs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Senders parked on a CTS from the dead incarnation: abort them — the
+    // message is lost (recovery's drain-mode QD absorbs the loss) but the
+    // sender must still run its on_consumed epilogue and return.
+    std::lock_guard<std::mutex> lk(rdv_mu_);
+    for (auto& [id, ps] : pending_sends_) {
+      (void)id;
+      if (ps->dproc != proc) continue;
+      std::lock_guard<std::mutex> plk(ps->mu);
+      ps->aborted = true;
+      ps->cv.notify_all();
+    }
+  }
+
  private:
   struct PendingSend {
     std::mutex mu;
     std::condition_variable cv;
     bool go = false;
+    bool aborted = false;
+    int dproc = -1;
   };
+
+  /// Writes one frame toward `dproc`. Without peer-loss tolerance this is
+  /// the plain blocking write (failures drop silently, matching the
+  /// pre-FT contract). With tolerance, a failed write — EPIPE, reset, or
+  /// a stalled buffer toward a dead process — parks *outside* the send
+  /// lock until attach_peer publishes the replacement stream, then
+  /// restarts the whole frame on it (partial bytes only ever reached the
+  /// dead fd, so no survivor observes a torn frame). `can_wait` is false
+  /// on the comm thread, which must stay live to apply the swap itself;
+  /// there the frame is dropped instead.
+  bool robust_write(int dproc, const wire::Header& h, const wire::Span* spans,
+                    std::size_t n, bool can_wait) {
+    if (!hooks_.tolerate_peer_loss) {
+      std::lock_guard<std::mutex> lk(send_mu_[dproc]);
+      wire::FdIo io(send_fd_[static_cast<std::size_t>(dproc)]);
+      return wire::write_frame(io, h, spans, n);
+    }
+    for (;;) {
+      std::uint64_t seen;
+      {
+        std::lock_guard<std::mutex> lk(send_mu_[dproc]);
+        seen = peer_gen_[static_cast<std::size_t>(dproc)].load(
+            std::memory_order_relaxed);
+        RobustIo io(send_fd_[static_cast<std::size_t>(dproc)]);
+        if (wire::write_frame(io, h, spans, n)) return true;
+      }
+      metrics::bump(Counter::kWireRetries);
+      if (!can_wait || stop_.load(std::memory_order_acquire)) return false;
+      int waited_ms = 0;
+      while (peer_gen_[static_cast<std::size_t>(dproc)].load(
+                 std::memory_order_acquire) == seen) {
+        if (stop_.load(std::memory_order_acquire)) return false;
+        MFC_CHECK_MSG(++waited_ms < 120000,
+                      "socket: peer stream never replaced after loss");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
 
   struct FdSink {
     SocketTransport* t = nullptr;
@@ -566,9 +810,17 @@ class SocketTransport final : public Transport {
         case Kind::kData: {
           // Landing buffer was pre-sized at kRts; bytes stream straight in.
           auto it = t->pending_recvs_.find(h.msg_id);
-          MFC_CHECK_MSG(it != t->pending_recvs_.end(),
-                        "kData without a matching kRts");
+          if (it == t->pending_recvs_.end()) {
+            // The kRts went to an incarnation that died before this data
+            // frame; only legal under peer-loss tolerance. Sink the bytes
+            // into reader scratch and drop the frame.
+            MFC_CHECK_MSG(t->hooks_.tolerate_peer_loss,
+                          "kData without a matching kRts");
+            cur = nullptr;
+            return nullptr;
+          }
           cur = it->second;
+          t->rdv_landing_.fetch_sub(1, std::memory_order_acq_rel);
           t->pending_recvs_.erase(it);
           return payload_ptr(cur);
         }
@@ -581,6 +833,7 @@ class SocketTransport final : public Transport {
       switch (static_cast<Kind>(h.kind)) {
         case Kind::kEager:
         case Kind::kData:
+          if (cur == nullptr) break;  // orphan kData sunk to scratch
           metrics::bump(Counter::kWireDelivered);
           trace::emit(trace::Ev::kWireDeliver, h.trace_flow, 0,
                       static_cast<std::uint32_t>(h.payload_len),
@@ -590,16 +843,24 @@ class SocketTransport final : public Transport {
           break;
         case Kind::kRts: {
           Message* m = t->hooks_.alloc(h, h.total_len);
-          t->pending_recvs_[h.msg_id] = m;
+          auto [it, fresh] = t->pending_recvs_.emplace(h.msg_id, m);
+          if (!fresh) {
+            // A respawned sender restarts its rendezvous sequence, so its
+            // ids can collide with a dead incarnation's abandoned entry.
+            MFC_CHECK_MSG(t->hooks_.tolerate_peer_loss,
+                          "duplicate rendezvous id");
+            t->hooks_.drop(it->second);
+            it->second = m;
+          } else {
+            t->rdv_landing_.fetch_add(1, std::memory_order_acq_rel);
+          }
           wire::Header cts;
           cts.kind = static_cast<std::uint32_t>(Kind::kCts);
           cts.msg_id = h.msg_id;
           const int sproc = h.src_pe / t->ppn_;
-          {
-            std::lock_guard<std::mutex> lk(t->send_mu_[sproc]);
-            wire::FdIo io(t->send_fd_[static_cast<std::size_t>(sproc)]);
-            wire::write_frame(io, cts, nullptr, 0);
-          }
+          // can_wait=false: the comm thread must never park on a dead
+          // stream — it is the thread that installs the replacement.
+          t->robust_write(sproc, cts, nullptr, 0, /*can_wait=*/false);
           trace::emit(trace::Ev::kWireCts, h.msg_id, 0,
                       static_cast<std::uint32_t>(h.total_len),
                       static_cast<std::int16_t>(h.src_pe));
@@ -621,6 +882,9 @@ class SocketTransport final : public Transport {
         case Kind::kStop:
           t->hooks_.on_stop();
           break;
+        case Kind::kFtCtl:
+          if (t->hooks_.ft_ctl) t->hooks_.ft_ctl(h);
+          break;
         default:
           MFC_CHECK_MSG(false, "unexpected frame kind on socket");
       }
@@ -630,12 +894,15 @@ class SocketTransport final : public Transport {
   void comm_loop() {
     trace::bind_comm();
     const std::size_t nfd = recv_.size();
-    std::vector<wire::Reader> readers(nfd);
-    std::vector<FdSink> sinks(nfd);
-    std::vector<wire::FdIo> ios(nfd);
+    // Receive state lives in members so attach_peer (same thread, via the
+    // idle hook) can swap a respawned peer's reader/io in place.
+    readers_.assign(nfd, wire::Reader());
+    sinks_.assign(nfd, FdSink());
+    ios_.assign(nfd, wire::FdIo());
     for (std::size_t i = 0; i < nfd; ++i) {
-      sinks[i] = {this, recv_[i].second, nullptr};
-      ios[i] = wire::FdIo(recv_[i].first);
+      sinks_[i] = {this, recv_[i].second, nullptr};
+      ios_[i] = wire::FdIo(recv_[i].first);
+      if (hooks_.tolerate_peer_loss) readers_[i].set_tolerate_eof(true);
     }
     std::vector<pollfd> pfds(nfd + 1);
     for (;;) {
@@ -651,9 +918,19 @@ class SocketTransport final : public Transport {
       bool eof_all = true;
       for (std::size_t i = 0; i < nfd; ++i) {
         if (recv_[i].first < 0) continue;
-        wire::PumpResult r = readers[i].pump(ios[i], sinks[i]);
+        wire::PumpResult r = readers_[i].pump(ios_[i], sinks_[i]);
         if (r == wire::PumpResult::kEof) {
-          recv_[i].first = -1;  // peer exited; parent's idle hook polices
+          // Peer exited. Under FT a truncated frame is dropped here and
+          // attach_peer later installs the respawn's stream; otherwise the
+          // parent's idle hook polices abnormal exits.
+          if (!readers_[i].idle()) {
+            readers_[i].reset();
+            if (sinks_[i].cur != nullptr) {
+              hooks_.drop(sinks_[i].cur);
+              sinks_[i].cur = nullptr;
+            }
+          }
+          recv_[i].first = -1;
         } else {
           eof_all = false;
         }
@@ -662,7 +939,7 @@ class SocketTransport final : public Transport {
         // Drain whatever arrived alongside the stop order, then leave.
         bool drained = true;
         for (std::size_t i = 0; i < nfd; ++i) {
-          if (recv_[i].first >= 0 && !readers[i].idle()) drained = false;
+          if (recv_[i].first >= 0 && !readers_[i].idle()) drained = false;
         }
         if (drained || eof_all) break;
       }
@@ -698,6 +975,10 @@ class SocketTransport final : public Transport {
   std::vector<std::vector<int>> ends_;
   std::vector<int> send_fd_;
   std::unique_ptr<std::mutex[]> send_mu_;
+  /// Per-peer stream generation; bumped by attach_peer when a respawned
+  /// peer's fresh socket replaces a dead one. Senders parked on a failed
+  /// write resume when they observe it move.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> peer_gen_;
   std::vector<std::pair<int, int>> recv_;  ///< (fd, peer proc)
   int wake_pipe_[2] = {-1, -1};
   Hooks hooks_;
@@ -707,7 +988,13 @@ class SocketTransport final : public Transport {
   std::unordered_map<std::uint64_t, PendingSend*> pending_sends_;
   /// Comm-thread-only (one comm thread handles every peer fd).
   std::unordered_map<std::uint64_t, Message*> pending_recvs_;
+  /// Mirror of pending_recvs_.size() readable off-thread (quiescent()).
+  std::atomic<int> rdv_landing_{0};
   std::atomic<std::uint64_t> rdv_seq_{1};
+  /// Comm-thread receive state (members so attach_peer can reach them).
+  std::vector<wire::Reader> readers_;
+  std::vector<FdSink> sinks_;
+  std::vector<wire::FdIo> ios_;
 };
 
 }  // namespace

@@ -26,8 +26,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "converse/wire.h"
 
@@ -55,6 +57,14 @@ struct Hooks {
   std::function<void()> on_stop;
   /// Comm-thread idle tick (the parent polls child liveness here).
   std::function<void()> idle;
+  /// An FT control frame (kind == kFtCtl) arrived for a local PE: the
+  /// machine flips that PE's dead/wipe flags. Comm-thread context.
+  std::function<void(const wire::Header&)> ft_ctl;
+  /// Cross-process FT respawn is armed: losing a peer is a recoverable
+  /// event, not a protocol violation. EOF mid-frame discards the partial
+  /// frame instead of aborting, and failed sends retry until the peer's
+  /// stream is replaced (attach_peer) instead of being dropped silently.
+  bool tolerate_peer_loss = false;
 };
 
 class Transport {
@@ -84,6 +94,38 @@ class Transport {
 
   /// Joins the comm thread. Call stop_local() first.
   virtual void join() = 0;
+
+  /// Ships one control frame to the process hosting h.dest_pe (the kind is
+  /// forced to kFtCtl, payload_len to 0). PE thread context: h.src_pe must
+  /// name the calling PE (producer discipline, like send()).
+  virtual void send_ctl(const wire::Header& h) = 0;
+
+  /// True when no wire bytes are in flight toward this process and no
+  /// receive is mid-frame here. Advisory between observations; exact when
+  /// sampled under a quiescent machine — the QD drain wave ANDs one sample
+  /// per process into its token.
+  virtual bool quiescent() { return true; }
+
+  /// Zygote-side, pre-start image only: replaces the wire resources of
+  /// dead process `proc` before its respawn is forked (the fresh fork then
+  /// inherits them). Fills `peer_fds` with one fd per surviving process to
+  /// ship over SCM_RIGHTS (-1 = nothing to ship; the shm rings are crash-
+  /// consistent and need no replacement). Caller owns the returned fds.
+  virtual void respawn_refresh(int proc, std::vector<int>& peer_fds) {
+    peer_fds.assign(peer_fds.size(), -1);
+    (void)proc;
+  }
+
+  /// Survivor-side, comm-thread context: installs respawned peer `proc`'s
+  /// fresh stream (`fd` < 0 when there is none to install) and discards
+  /// every half-read frame, staged envelope, and parked rendezvous still
+  /// referring to the old incarnation. `gen` is the respawn generation;
+  /// senders blocked on the dead stream resume when they observe it move.
+  virtual void attach_peer(int proc, int fd, std::uint64_t gen) {
+    (void)proc;
+    (void)fd;
+    (void)gen;
+  }
 };
 
 struct Options {

@@ -51,6 +51,10 @@ enum class Kind : std::uint32_t {
   kData = 5,
   kProcDone = 6,
   kStop = 7,
+  /// FT control plane: src_pe = requesting PE, dest_pe = target PE,
+  /// msg_id = op (0 kill, 1 revive). No payload. Machine-level — flips the
+  /// target's dead/wipe flags from the comm thread without a handler.
+  kFtCtl = 8,
 };
 
 /// POD frame header; identical layout in every process (all fixed-width
@@ -158,7 +162,7 @@ class Reader {
               reinterpret_cast<char*>(&header_) + header_fill_,
               sizeof(Header) - header_fill_);
           if (r == 0) {
-            MFC_CHECK_MSG(header_fill_ == 0,
+            MFC_CHECK_MSG(header_fill_ == 0 || tolerate_eof_,
                           "wire: EOF inside a frame header");
             return PumpResult::kEof;
           }
@@ -176,7 +180,10 @@ class Reader {
       while (payload_fill_ < header_.payload_len) {
         std::ptrdiff_t r = io.read_some(dst_ + payload_fill_,
                                         header_.payload_len - payload_fill_);
-        MFC_CHECK_MSG(r != 0, "wire: EOF inside a frame payload");
+        if (r == 0) {
+          MFC_CHECK_MSG(tolerate_eof_, "wire: EOF inside a frame payload");
+          return PumpResult::kEof;
+        }
         if (r < 0) return PumpResult::kWouldBlock;
         payload_fill_ += static_cast<std::size_t>(r);
       }
@@ -190,11 +197,28 @@ class Reader {
   /// True when no partial frame is buffered (clean shutdown check).
   bool idle() const { return !have_header_ && header_fill_ == 0; }
 
+  /// Peer loss tolerance: EOF mid-frame returns kEof (the caller resets
+  /// and discards the partial frame) instead of aborting. Default off — a
+  /// truncated stream is a protocol violation unless the machine runs
+  /// with cross-process fault tolerance armed.
+  void set_tolerate_eof(bool on) { tolerate_eof_ = on; }
+
+  /// Discards any partially-read frame. Used when a peer's stream is
+  /// replaced mid-run (process respawn): bytes from the old stream must
+  /// not prefix frames from the new one.
+  void reset() {
+    have_header_ = false;
+    header_fill_ = 0;
+    payload_fill_ = 0;
+    dst_ = nullptr;
+  }
+
  private:
   Header header_{};
   std::size_t header_fill_ = 0;
   std::size_t payload_fill_ = 0;
   bool have_header_ = false;
+  bool tolerate_eof_ = false;
   char* dst_ = nullptr;
   std::vector<char> scratch_;
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <utility>
@@ -14,6 +16,7 @@
 #include "ult/scheduler.h"
 #include "util/check.h"
 #include "util/crc32.h"
+#include "util/log.h"
 
 namespace mfc::ft {
 namespace {
@@ -94,6 +97,13 @@ struct FtState {
   int rec_acks = 0;
   ult::Thread* rec_waiter = nullptr;
 
+  // ---- Process tier (populated at the first tick, when the machine's
+  // process geometry is known) ----
+  int nprocs = 1;
+  int ppn = 0;             ///< PEs per process
+  int victim_proc = -1;    ///< process-tier recovery in flight
+  std::vector<char> escalated;  ///< per-proc: wedge already escalated to kill
+
   std::atomic<std::uint64_t> kills{0};
   std::atomic<std::uint64_t> detections{0};
   std::atomic<std::uint64_t> recoveries{0};
@@ -168,6 +178,46 @@ void ft_send(int pe, converse::HandlerId h, const T& value) {
 }
 
 void count_delivery() { metrics::bump(metrics::Counter::kFtDelivered); }
+
+/// Buddy stride: PEs-per-process under a multi-process machine, 1 single-
+/// process. Read from the machine each call (install() runs before
+/// Machine::run, when the geometry is not yet known).
+int buddy_stride() {
+  const int np = converse::num_procs();
+  return np > 1 ? g_state->npes / np : 1;
+}
+
+/// The PE whose buddy copy `pe` holds: the inverse of buddy_of.
+int pred_of(int pe) {
+  const int npes = g_state->npes;
+  return (pe - buddy_stride() + npes) % npes;
+}
+
+/// Ships a StoreMsg without gathering the blob into the pup buffer: the
+/// fixed fields and range tables pack into a small prefix whose trailing
+/// vector-length word is patched to the real blob size, and the blob bytes
+/// ride as a second scatter span — on a wire transport they go straight to
+/// the ring copy loop or writev. The receiver's plain pup unpack sees the
+/// identical byte stream either way.
+void ft_send_store(int pe, const StoreMsg& sm) {
+  metrics::bump(metrics::Counter::kFtSent);
+  StoreMsg head;
+  head.src = sm.src;
+  head.epoch = sm.epoch;
+  head.kind = sm.kind;
+  head.base_epoch = sm.base_epoch;
+  head.full_len = sm.full_len;
+  head.full_crc = sm.full_crc;
+  head.offs = sm.offs;
+  head.lens = sm.lens;
+  std::vector<char> prefix = pup::to_bytes_onepass(head, 256);
+  const std::size_t blob_len = sm.blob.size();
+  std::memcpy(prefix.data() + prefix.size() - sizeof blob_len, &blob_len,
+              sizeof blob_len);
+  const converse::SendSpan spans[2] = {{prefix.data(), prefix.size()},
+                                       {sm.blob.data(), blob_len}};
+  converse::send_spans(pe, h_store, spans, blob_len != 0 ? 2 : 1);
+}
 
 // ---- Checkpoint -------------------------------------------------------------
 
@@ -268,7 +318,7 @@ void handle_capture(converse::Message&& m) {
   st.pending_epoch = cm.epoch;
   st.pending = std::move(blob);
   if (mode != CkptMode::kAsync) {
-    ft_send(buddy_of(me), h_store, sm);
+    ft_send_store(buddy_of(me), sm);
     ft_send(0, h_ckpt_ack, AckMsg{cm.epoch, 0, bytes});
   } else {
     // Capture is done — ack immediately so PE 0 can lift the exclusive
@@ -465,11 +515,20 @@ void handle_pong(converse::Message&& m) {
 }
 
 void recovery_main();
+void proc_recovery_main();
 
-/// PE0 scheduler-loop tick: heartbeat pings out, pong deadlines checked.
-/// Deliberately ignorant of the machine's dead flags — the acceptance bar
-/// is that recovery is *detector*-triggered, so the only death signal used
-/// here is a missed pong.
+/// PE0 scheduler-loop tick: two failure tiers, process before PE.
+///
+/// Process tier: proc 0's comm thread reaps dead children (and the zygote
+/// reports grandchild deaths); the reap lands in the machine's dead-proc
+/// mailbox, consumed here. A *wedged* process — alive but every one of its
+/// PEs overdue at once — is escalated to a SIGKILL so the same reap path
+/// fires; per-proc `escalated` keeps the escalation single-shot.
+///
+/// PE tier: heartbeat pings out, pong deadlines checked. Deliberately
+/// ignorant of the machine's dead flags — the acceptance bar is that
+/// recovery is *detector*-triggered, so the only death signal used here is
+/// a missed pong (or, process tier, a reaped corpse).
 void tick() {
   FtState* s = g_state;
   const auto now = Clock::now();
@@ -477,9 +536,33 @@ void tick() {
     s->clock_init = true;
     s->last_ping = now;
     s->last_pong.assign(static_cast<std::size_t>(s->npes), now);
+    s->nprocs = converse::num_procs();
+    s->ppn = s->npes / (s->nprocs > 0 ? s->nprocs : 1);
+    s->escalated.assign(static_cast<std::size_t>(s->nprocs), 0);
     return;
   }
   if (s->recovering) return;
+  const bool proc_tier = s->nprocs > 1 && converse::ft_proc_respawn_enabled();
+  if (proc_tier) {
+    const int dp = converse::take_dead_proc();
+    if (dp > 0) {
+      s->recovering = true;
+      s->victim_proc = dp;
+      s->detections.fetch_add(1, std::memory_order_relaxed);
+      metrics::bump(metrics::Counter::kFtDetections);
+      trace::emit_flight(trace::Ev::kFtDetect, 1,
+                         static_cast<std::uint32_t>(dp), 0,
+                         static_cast<std::int16_t>(dp * s->ppn));
+      trace::flight::dump("ft-proc-down");
+      if (s->hooks.on_detect) {
+        for (int v = dp * s->ppn; v < (dp + 1) * s->ppn; ++v) {
+          s->hooks.on_detect(v);
+        }
+      }
+      ult::spawn([] { proc_recovery_main(); });
+      return;  // single-failure model: one recovery at a time
+    }
+  }
   if (now - s->last_ping >=
       std::chrono::microseconds(s->hooks.ping_interval_us)) {
     s->last_ping = now;
@@ -488,8 +571,35 @@ void tick() {
     }
   }
   const auto deadline = std::chrono::microseconds(s->hooks.timeout_us);
+  const auto overdue = [&](int pe) {
+    return pe != 0 &&
+           now - s->last_pong[static_cast<std::size_t>(pe)] > deadline;
+  };
   for (int pe = 1; pe < s->npes; ++pe) {
-    if (now - s->last_pong[static_cast<std::size_t>(pe)] <= deadline) continue;
+    if (!overdue(pe)) continue;
+    if (proc_tier) {
+      const int proc = pe / s->ppn;
+      if (proc != 0) {
+        bool whole_proc = true;
+        for (int q = proc * s->ppn; q < (proc + 1) * s->ppn; ++q) {
+          whole_proc = whole_proc && overdue(q);
+        }
+        if (whole_proc) {
+          // Wedged-but-alive process: every PE overdue at once. Escalate
+          // to a whole-process kill; the zygote's reap report then drives
+          // process-tier recovery above. No PE-tier recovery meanwhile.
+          if (!s->escalated[static_cast<std::size_t>(proc)]) {
+            s->escalated[static_cast<std::size_t>(proc)] = 1;
+            metrics::bump(metrics::Counter::kFtDetections);
+            trace::emit_flight(trace::Ev::kFtDetect, 2,
+                               static_cast<std::uint32_t>(proc), 0,
+                               static_cast<std::int16_t>(pe));
+            converse::kill_proc(proc);
+          }
+          continue;
+        }
+      }
+    }
     s->recovering = true;
     s->victim = pe;
     s->detections.fetch_add(1, std::memory_order_relaxed);
@@ -585,6 +695,27 @@ void rec_wait(int n) {
   ult::suspend();
 }
 
+/// An async epoch that had not committed when the failure hit is aborted:
+/// every PE drops its pending capture, staged store, and stream buffers.
+/// The rollback then lands on the previous committed epoch, and the aborted
+/// epoch number is simply reused when the replay reaches its checkpoint
+/// round again. No End event was emitted and no checkpoint counter bumped,
+/// so committed-epoch books match a failure-free run. Recovery-ULT context.
+void abort_async_epoch() {
+  FtState* s = g_state;
+  if (!s->async_inflight) return;
+  const std::uint64_t e = s->pending_epoch;
+  s->pending_epoch = 0;
+  s->async_inflight = false;
+  for (int pe = 0; pe < s->npes; ++pe) ft_send(pe, h_ckpt_abort, e);
+  rec_wait(s->npes);
+  if (s->sync_waiter != nullptr) {
+    ult::Thread* t = s->sync_waiter;
+    s->sync_waiter = nullptr;
+    converse::ready_thread(t);
+  }
+}
+
 /// Recovery coordinator: runs as a ULT on PE0, spawned by the detector.
 void recovery_main() {
   FtState* s = g_state;
@@ -606,28 +737,11 @@ void recovery_main() {
   // them along with everything else.
   converse::wait_quiescence();
 
-  // An async epoch that had not committed when the failure hit is aborted:
-  // every PE drops its pending capture, staged store, and stream buffers.
-  // The rollback then lands on the previous committed epoch, and the
-  // aborted epoch number is simply reused when the replay reaches its
-  // checkpoint round again. No End event was emitted and no checkpoint
-  // counter bumped, so committed-epoch books match a failure-free run.
-  if (s->async_inflight) {
-    const std::uint64_t e = s->pending_epoch;
-    s->pending_epoch = 0;
-    s->async_inflight = false;
-    for (int pe = 0; pe < npes; ++pe) ft_send(pe, h_ckpt_abort, e);
-    rec_wait(npes);
-    if (s->sync_waiter != nullptr) {
-      ult::Thread* t = s->sync_waiter;
-      s->sync_waiter = nullptr;
-      converse::ready_thread(t);
-    }
-  }
+  abort_async_epoch();
 
   // Refill the victim's checkpoint store from the two surviving copies.
   ft_send(buddy_of(v), h_refill_own, std::int32_t{v});
-  ft_send((v - 1 + npes) % npes, h_refill_buddy, std::int32_t{v});
+  ft_send(pred_of(v), h_refill_buddy, std::int32_t{v});
   rec_wait(2);
 
   // Rollback phase A: every PE discards its live application state. The
@@ -648,6 +762,72 @@ void recovery_main() {
   s->last_pong.assign(static_cast<std::size_t>(npes), now);
   s->last_ping = now;
   s->victim = -1;
+  s->recovering = false;
+  trace::emit_flight(trace::Ev::kFtRecoveryEnd, s->epoch);
+}
+
+/// Process-tier recovery coordinator: runs as a ULT on PE 0, spawned by the
+/// detector when a whole process is reaped. The shape mirrors recovery_main
+/// with three differences: the corpse is respawned (not just revived), the
+/// quiescence wave runs in drain mode (messages the dead incarnation held
+/// are gone forever, so the exact send==delivered ledger is rebased instead
+/// of awaited), and all ppn lost PEs refill at once — legal because the
+/// process-disjoint buddy stride puts every victim's blob in process p+1
+/// and every buddy copy it held in process p-1, both survivors.
+void proc_recovery_main() {
+  FtState* s = g_state;
+  const int p = s->victim_proc;
+  const int npes = s->npes;
+  const int ppn = s->ppn;
+  const int lo = p * ppn;
+  trace::emit_flight(trace::Ev::kFtRecoveryBegin, static_cast<std::uint64_t>(p),
+                     1, 0, static_cast<std::int16_t>(lo));
+  s->recoveries.fetch_add(1, std::memory_order_relaxed);
+  metrics::bump(metrics::Counter::kFtRecoveries);
+
+  // Respawn: the zygote forks a fresh incarnation of process p from its
+  // pristine pre-fork image and swaps fresh wire streams into every
+  // survivor. Yield-poll the completion mailbox — PE 0's scheduler keeps
+  // draining handlers (pongs, app traffic) between polls.
+  converse::request_respawn(p);
+  while (!converse::take_respawn_complete(p)) ult::yield();
+
+  // The respawned incarnation boots with all its PEs dead. Revive them:
+  // each revive rides the fresh ordered stream, so the machine's wipe runs
+  // on the new incarnation before any refill below can land there.
+  for (int v = lo; v < lo + ppn; ++v) converse::revive_pe(v);
+
+  // Drain-mode quiescence: messages the dead incarnation had sent or
+  // absorbed are lost, so exact send==delivered can never balance again.
+  // The drain wave instead waits for transport-idle plus stable counters
+  // and rebases the ledger's compensation term for future exact waves.
+  converse::begin_qd_drain();
+  converse::wait_quiescence();
+  converse::end_qd_drain();
+
+  abort_async_epoch();
+
+  // Refill every lost PE's store: its own blob from its buddy (process
+  // p+1) and the buddy copy it held for its predecessor (process p-1).
+  for (int v = lo; v < lo + ppn; ++v) {
+    ft_send(buddy_of(v), h_refill_own, std::int32_t{v});
+    ft_send(pred_of(v), h_refill_buddy, std::int32_t{v});
+  }
+  rec_wait(2 * ppn);
+
+  // Rollback phases A and B, exactly as in the PE tier.
+  for (int pe = 0; pe < npes; ++pe) ft_send(pe, h_discard, AckMsg{});
+  rec_wait(npes);
+  for (int pe = 0; pe < npes; ++pe) ft_send(pe, h_restore, s->epoch);
+  rec_wait(npes);
+
+  if (s->hooks.on_recovered) s->hooks.on_recovered(s->epoch);
+
+  const auto now = Clock::now();
+  s->last_pong.assign(static_cast<std::size_t>(npes), now);
+  s->last_ping = now;
+  s->escalated[static_cast<std::size_t>(p)] = 0;
+  s->victim_proc = -1;
   s->recovering = false;
   trace::emit_flight(trace::Ev::kFtRecoveryEnd, s->epoch);
 }
@@ -683,6 +863,23 @@ void register_ft_handlers() {
   });
 }
 
+/// Reads a millisecond-valued detector override from the environment.
+/// Returns `fallback_us` when the variable is unset; otherwise the value in
+/// microseconds. Rejects garbage and out-of-range settings outright — a
+/// silently-misparsed timeout would turn into false-positive rollbacks.
+std::uint64_t detector_env_us(const char* name, std::uint64_t fallback_us) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback_us;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long ms = std::strtoull(v, &end, 10);
+  MFC_CHECK_MSG(errno == 0 && end != v && *end == '\0',
+                "ft: detector override is not a plain integer (milliseconds)");
+  MFC_CHECK_MSG(ms >= 1 && ms <= 600000,
+                "ft: detector override out of range [1, 600000] ms");
+  return ms * 1000;
+}
+
 }  // namespace
 
 void install(int npes, Hooks hooks) {
@@ -690,6 +887,14 @@ void install(int npes, Hooks hooks) {
   MFC_CHECK_MSG(npes >= 2, "buddy checkpointing needs at least 2 PEs");
   MFC_CHECK(hooks.capture && hooks.restore);
   register_ft_handlers();
+  hooks.ping_interval_us =
+      detector_env_us("MFC_FT_PERIOD_MS", hooks.ping_interval_us);
+  hooks.timeout_us = detector_env_us("MFC_FT_TIMEOUT_MS", hooks.timeout_us);
+  MFC_CHECK_MSG(hooks.ping_interval_us < hooks.timeout_us,
+                "ft: heartbeat period must be shorter than the timeout");
+  MFC_LOG_INFO("ft: heartbeat period %llu us, timeout %llu us",
+               static_cast<unsigned long long>(hooks.ping_interval_us),
+               static_cast<unsigned long long>(hooks.timeout_us));
   g_state = new FtState;
   g_state->npes = npes;
   g_state->hooks = std::move(hooks);
@@ -767,7 +972,11 @@ void kill_pe(int pe) {
 
 int buddy_of(int pe) {
   MFC_CHECK(g_state != nullptr);
-  return (pe + 1) % g_state->npes;
+  // Process-disjoint placement: a stride of PEs-per-process lands every
+  // buddy in the next process over, so losing one whole process never
+  // destroys both copies of any blob. Single-process keeps the classic
+  // ring neighbor.
+  return (pe + buddy_stride()) % g_state->npes;
 }
 
 std::uint64_t epochs() { return g_state != nullptr ? g_state->epoch : 0; }

@@ -6,14 +6,29 @@
 // The protocol in one paragraph: at a synchronized (quiescent) moment every
 // PE packs its migratable threads and chare-array slice into one checkpoint
 // blob — "checkpointing is simply migration to the local memory of a remote
-// processor" — and stores it twice: locally and on its *buddy* PE
-// ((pe+1) % npes). When the failure detector (heartbeat pings from PE 0)
-// declares a PE dead, the recovery coordinator revives it with wiped memory,
-// refills its checkpoint store from the buddy copies that survived, rolls
-// every PE back to the last committed epoch, and resumes. One failure
-// between consecutive checkpoints is survivable by construction: the lost
-// PE's blob lives on its buddy, and the lost buddy-copy it held for its
-// predecessor is re-sent from the predecessor's own local blob.
+// processor" — and stores it twice: locally and on its *buddy* PE. The
+// buddy stride is process-disjoint: (pe + ppn) % npes under a multi-process
+// machine (ppn = PEs per process), (pe + 1) % npes single-process — so the
+// two copies of every blob always live in different OS processes and the
+// loss of a whole process never destroys both. When the failure detector
+// (heartbeat pings from PE 0) declares a PE dead, the recovery coordinator
+// revives it with wiped memory, refills its checkpoint store from the buddy
+// copies that survived, rolls every PE back to the last committed epoch,
+// and resumes. One failure between consecutive checkpoints is survivable by
+// construction: the lost PE's blob lives on its buddy, and the lost
+// buddy-copy it held for its predecessor is re-sent from the predecessor's
+// own local blob.
+//
+// Failures come in two tiers:
+//   - PE tier: a kill_pe'd (or wedged) PE misses pongs; the detector
+//     revives it in place and refills its store — the original FTC-Charm++
+//     protocol.
+//   - process tier: a whole OS process dies (SIGKILL, crash) or wedges
+//     (every one of its PEs overdue at once, escalated to a kill). Proc 0
+//     reaps the corpse, the pre-fork zygote forks a replacement from its
+//     pristine image, survivors swap in fresh wire streams, and the
+//     coordinator revives and refills all ppn lost PEs from their remote
+//     buddies before the usual discard/restore rollback.
 //
 // Division of labor:
 //   - machine layer (converse): kill/revive flags, the PE0 tick seam, the
@@ -66,12 +81,16 @@ struct Hooks {
   /// every PE; the application may resume driving.
   std::function<void(std::uint64_t epoch)> on_recovered;
 
-  /// Heartbeat period (PE 0 → every other PE) in microseconds.
+  /// Heartbeat period (PE 0 → every other PE) in microseconds. The
+  /// MFC_FT_PERIOD_MS environment variable (milliseconds) overrides this at
+  /// install time.
   std::uint64_t ping_interval_us = 2000;
 
   /// Declare a PE dead after this long without a pong. Generous by default:
   /// a busy-but-alive PE (or a tsan-slowed one) must never be declared dead
-  /// — a false positive rolls back a healthy machine.
+  /// — a false positive rolls back a healthy machine. The MFC_FT_TIMEOUT_MS
+  /// environment variable (milliseconds) overrides this at install time;
+  /// install() validates period < timeout and logs the effective values.
   std::uint64_t timeout_us = 250000;
 };
 
@@ -128,7 +147,9 @@ std::uint64_t checkpoint_sync();
 /// Callable from any PE context, including the victim's own handlers.
 void kill_pe(int pe);
 
-/// The buddy that holds `pe`'s checkpoint blob.
+/// The buddy that holds `pe`'s checkpoint blob: (pe + stride) % npes, where
+/// the stride is the machine's PEs-per-process under a multi-process run
+/// (process-disjoint placement) and 1 otherwise.
 int buddy_of(int pe);
 
 /// Protocol counters (valid during and after a run).

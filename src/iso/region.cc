@@ -155,6 +155,18 @@ void Region::free_remote(SlotId id) {
   strip.used_count -= id.count;
 }
 
+void Region::reassert(SlotId id) {
+  MFC_CHECK(id.valid());
+  Strip& strip = strips_[static_cast<std::size_t>(id.pe)];
+  std::lock_guard<std::mutex> lock(strip.mutex);
+  for (std::uint32_t k = 0; k < id.count; ++k) {
+    if (!strip.used[id.index + k]) {
+      strip.used[id.index + k] = true;
+      ++strip.used_count;
+    }
+  }
+}
+
 void* Region::slot_base(SlotId id) const {
   MFC_CHECK(id.valid());
   const std::size_t strip_bytes =

@@ -100,6 +100,14 @@ class Region {
   /// own mapping before forwarding.
   void free_remote(SlotId id);
 
+  /// Re-asserts ownership of `id` in the slot's birth process. A respawned
+  /// process boots with the zygote's boot-time bitmap copy, which misses
+  /// every acquire made since; recovery replays the leases of restored
+  /// threads through this so later forwarded frees find the `used` bits
+  /// set. Idempotent — already-set bits are left alone (survivor strips).
+  /// Pages and residency are untouched.
+  void reassert(SlotId id);
+
   const Config& config() const { return config_; }
   void* base() const { return base_; }
   std::size_t reservation_bytes() const { return total_bytes_; }

@@ -71,6 +71,9 @@ const char* to_string(Counter c) {
     case Counter::kWireChunks: return "wire-chunks";
     case Counter::kWireRendezvous: return "wire-rendezvous";
     case Counter::kSpanSends: return "span-sends";
+    case Counter::kWireRetries: return "wire-retries";
+    case Counter::kProcKills: return "proc-kills";
+    case Counter::kProcRespawns: return "proc-respawns";
     case Counter::kCount: break;
   }
   return "?";

@@ -61,6 +61,10 @@ enum class Counter : int {
   kWireChunks,      ///< kChunk frames (messages split to fit the shm ring)
   kWireRendezvous,  ///< rendezvous (RTS/CTS/DATA) transfers initiated
   kSpanSends,       ///< send_spans() calls (scatter-gather message sends)
+  kWireRetries,     ///< transient socket errors retried (EAGAIN/EPIPE/ECONNRESET)
+  // Process-tier fault tolerance (cross-process FT).
+  kProcKills,       ///< whole processes SIGKILLed / declared dead
+  kProcRespawns,    ///< dead processes respawned by the zygote
   kCount,
 };
 constexpr int kCounterCount = static_cast<int>(Counter::kCount);

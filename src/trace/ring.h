@@ -50,6 +50,8 @@ enum class Ev : std::uint8_t {
   kWireRts,             ///< rendezvous RTS issued (arg=rdv id, b=dest pe)
   kWireCts,             ///< rendezvous CTS sent back (arg=rdv id)
   kWireRdvDone,         ///< rendezvous payload written span-direct (size=bytes)
+  kFtProcDown,          ///< whole process declared dead (a=proc, b=first pe)
+  kFtProcRespawn,       ///< dead process respawned (a=proc, arg=generation)
   kCount,
 };
 constexpr int kEvCount = static_cast<int>(Ev::kCount);

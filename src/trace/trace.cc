@@ -421,6 +421,22 @@ void export_records(JsonWriter& w, const Record* recs, std::size_t n,
         w.args_end();
         w.done();
         break;
+      case Ev::kFtProcDown:
+      case Ev::kFtProcRespawn:
+        w.event(static_cast<Ev>(r.ev) == Ev::kFtProcDown ? "ft-proc-down"
+                                                         : "ft-proc-respawn",
+                'i', tid, ns);
+        w.raw("s", "\"g\"");
+        w.args_begin();
+        w.arg_num("proc", r.a, true);
+        if (static_cast<Ev>(r.ev) == Ev::kFtProcRespawn) {
+          w.arg_num("generation", static_cast<long long>(r.arg));
+        } else if (r.b >= 0) {
+          w.arg_num("first_pe", r.b);
+        }
+        w.args_end();
+        w.done();
+        break;
       case Ev::kWireSendBegin:
         std::snprintf(name, sizeof(name), "wire-send:%s",
                       wire_kind_name(r.a));
@@ -787,6 +803,8 @@ const char* to_string(Ev ev) {
     case Ev::kWireRts: return "wire-rts";
     case Ev::kWireCts: return "wire-cts";
     case Ev::kWireRdvDone: return "wire-rdv-done";
+    case Ev::kFtProcDown: return "ft-proc-down";
+    case Ev::kFtProcRespawn: return "ft-proc-respawn";
     case Ev::kCount: break;
   }
   return "?";

@@ -1,0 +1,215 @@
+// Cross-process fault-tolerance tests (labeled `ft`): whole-process kill +
+// zygote respawn + transport reattach storms over the procstorm driver
+// (src/chaos/procstorm.h).
+//
+// The headline probe is digest transparency: a storm whose coordinator
+// SIGKILLs entire seed-chosen processes after checkpoint commits must end
+// with a workload digest bit-identical to a failure-free run of the same
+// options — process loss, respawn, stream swap, buddy refill and rollback
+// all invisible to the workload. Kills always fire right after a commit, so
+// recovery rolls back to exactly the committed state and no round replays;
+// epoch/kill/detection/recovery/respawn counters are therefore exact, not
+// bounds.
+//
+// Fork-based multi-process legs are compiled out under ThreadSanitizer
+// (MFC_TSAN) — tsan does not follow forked children. The loopback leg at
+// the bottom (nprocs == 1, socket wire, PE-tier kills) keeps the whole FT
+// wire path — span-shipped buddy stores included — under the race detector.
+#include "chaos/procstorm.h"
+
+#include <gtest/gtest.h>
+
+#include "chaos/chaos.h"
+
+namespace {
+
+namespace chaos = mfc::chaos;
+using chaos::ProcStormOptions;
+using chaos::ProcStormReport;
+
+/// Committed epochs for a given geometry: one per checkpoint round
+/// ((r + 1) % every == 0, final round exempt). Kills never add epochs —
+/// the kill-at-commit schedule never replays a checkpoint.
+std::uint64_t expected_epochs(const ProcStormOptions& o) {
+  std::uint64_t n = 0;
+  for (int r = 0; r < o.rounds; ++r) {
+    if (o.checkpoint_every > 0 && r != o.rounds - 1 &&
+        (r + 1) % o.checkpoint_every == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t expected_kills(const ProcStormOptions& o) {
+  return o.kill_every > 0 ? expected_epochs(o) / o.kill_every : 0;
+}
+
+void expect_exact_ft_books(const ProcStormReport& r,
+                           const ProcStormOptions& o) {
+  EXPECT_TRUE(r.clean(o.npes));
+  EXPECT_EQ(r.rounds, static_cast<std::uint64_t>(o.rounds));
+  EXPECT_EQ(r.ft_epochs, expected_epochs(o));
+  EXPECT_EQ(r.kills, expected_kills(o));
+  EXPECT_EQ(r.detections, expected_kills(o));
+  EXPECT_EQ(r.recoveries, expected_kills(o));
+  if (o.checkpoint_every > 0) {
+    EXPECT_GT(r.ft_ship_bytes, 0u);
+  }
+}
+
+#ifndef MFC_TSAN
+
+/// The acceptance geometry: 64 PEs across 4 processes over shm rings,
+/// two whole-process SIGKILLs mid-run. The digest must match a run that
+/// never installed FT at all.
+TEST(Ftx, ShmProcKillStormDigestMatchesCalm) {
+  ProcStormOptions calm;
+  calm.seed = 20260809;
+  calm.npes = 64;
+  calm.nprocs = 4;
+  calm.transport = 1;
+  calm.rounds = 12;
+  const ProcStormReport base = run_proc_storm(calm);
+  ASSERT_TRUE(base.clean(calm.npes));
+  ASSERT_NE(base.workload_digest, 0u);
+  EXPECT_EQ(base.kills, 0u);
+  EXPECT_EQ(base.proc_respawns, 0u);
+
+  ProcStormOptions storm = calm;
+  storm.checkpoint_every = 2;  // epochs at rounds 1,3,5,7,9
+  storm.kill_every = 2;        // SIGKILL after commits 2 and 4
+  const ProcStormReport r = run_proc_storm(storm);
+  expect_exact_ft_books(r, storm);
+  EXPECT_EQ(r.proc_respawns, expected_kills(storm));
+  EXPECT_EQ(r.workload_digest, base.workload_digest);
+}
+
+/// Same storm over the socket transport: SCM_RIGHTS reattach instead of
+/// crash-consistent shm rings.
+TEST(Ftx, SocketProcKillStormDigestMatchesCalm) {
+  ProcStormOptions calm;
+  calm.seed = 77;
+  calm.npes = 16;
+  calm.nprocs = 4;
+  calm.transport = 2;
+  calm.rounds = 10;
+  const ProcStormReport base = run_proc_storm(calm);
+  ASSERT_TRUE(base.clean(calm.npes));
+
+  ProcStormOptions storm = calm;
+  storm.checkpoint_every = 2;
+  storm.kill_every = 2;
+  const ProcStormReport r = run_proc_storm(storm);
+  expect_exact_ft_books(r, storm);
+  EXPECT_EQ(r.proc_respawns, expected_kills(storm));
+  EXPECT_EQ(r.workload_digest, base.workload_digest);
+}
+
+/// Same seed, same options → bit-identical digests: the kill schedule, the
+/// victim draws and the recovery are all deterministic.
+TEST(Ftx, SameSeedProcKillRunsAreBitIdentical) {
+  ProcStormOptions opt;
+  opt.seed = 4242;
+  opt.npes = 8;
+  opt.nprocs = 4;
+  opt.transport = 1;
+  opt.rounds = 10;
+  opt.checkpoint_every = 2;
+  opt.kill_every = 2;
+  const ProcStormReport a = run_proc_storm(opt);
+  const ProcStormReport b = run_proc_storm(opt);
+  expect_exact_ft_books(a, opt);
+  expect_exact_ft_books(b, opt);
+  EXPECT_EQ(a.workload_digest, b.workload_digest);
+  EXPECT_EQ(a.ft_ship_bytes, b.ft_ship_bytes);
+}
+
+/// nprocs == 2 with a kill at every commit: the only possible victim is
+/// process 1, so its *respawned* incarnation is killed again and again —
+/// the zygote must keep serving respawns for a process it already
+/// resurrected (ctl-channel reuse across generations).
+TEST(Ftx, RespawnedProcessSurvivesRepeatedKills) {
+  ProcStormOptions calm;
+  calm.seed = 99;
+  calm.npes = 8;
+  calm.nprocs = 2;
+  calm.transport = 1;
+  calm.rounds = 10;
+  const ProcStormReport base = run_proc_storm(calm);
+  ASSERT_TRUE(base.clean(calm.npes));
+
+  ProcStormOptions storm = calm;
+  storm.checkpoint_every = 2;
+  storm.kill_every = 1;  // all four commits followed by a SIGKILL of proc 1
+  const ProcStormReport r = run_proc_storm(storm);
+  expect_exact_ft_books(r, storm);
+  EXPECT_EQ(r.kills, 4u);
+  EXPECT_EQ(r.proc_respawns, 4u);
+  EXPECT_EQ(r.workload_digest, base.workload_digest);
+}
+
+/// Async checkpoint shipping across processes with a kill after each
+/// committed async epoch: the coordinator syncs the background commit
+/// before killing, so the books stay exact.
+TEST(Ftx, AsyncModeProcKillStorm) {
+  ProcStormOptions calm;
+  calm.seed = 1234;
+  calm.npes = 16;
+  calm.nprocs = 4;
+  calm.transport = 1;
+  calm.rounds = 10;
+  const ProcStormReport base = run_proc_storm(calm);
+  ASSERT_TRUE(base.clean(calm.npes));
+
+  ProcStormOptions storm = calm;
+  storm.checkpoint_every = 2;
+  storm.ft_mode = 2;  // ft::CkptMode::kAsync
+  storm.kill_every = 2;
+  const ProcStormReport r = run_proc_storm(storm);
+  expect_exact_ft_books(r, storm);
+  EXPECT_EQ(r.workload_digest, base.workload_digest);
+}
+
+#endif  // !MFC_TSAN
+
+/// Loopback leg (always compiled, tsan-clean): single process, all cross-PE
+/// traffic over the socket wire, PE-tier kills. Keeps span-shipped buddy
+/// stores, the detector and the rollback protocol under ThreadSanitizer.
+TEST(Ftx, LoopbackSocketWirePeKillStorm) {
+  ProcStormOptions calm;
+  calm.seed = 555;
+  calm.npes = 4;
+  calm.nprocs = 1;
+  calm.transport = 2;
+  calm.rounds = 8;
+  const ProcStormReport base = run_proc_storm(calm);
+  ASSERT_TRUE(base.clean(calm.npes));
+
+  ProcStormOptions storm = calm;
+  storm.checkpoint_every = 2;  // epochs at rounds 1,3,5
+  storm.kill_every = 2;        // one PE kill, after commit 2
+  const ProcStormReport r = run_proc_storm(storm);
+  expect_exact_ft_books(r, storm);
+  EXPECT_EQ(r.kills, 1u);
+  EXPECT_EQ(r.proc_respawns, 0u);  // PE tier: revive in place, no fork
+  EXPECT_EQ(r.workload_digest, base.workload_digest);
+}
+
+/// Calm loopback shm variant: the wire path without failures, digest
+/// stability against the socket loopback above is NOT expected (different
+/// npes would change it) — this probes books only.
+TEST(Ftx, LoopbackShmCheckpointOnlyStorm) {
+  ProcStormOptions opt;
+  opt.seed = 31337;
+  opt.npes = 4;
+  opt.nprocs = 1;
+  opt.transport = 1;
+  opt.rounds = 8;
+  opt.checkpoint_every = 2;
+  const ProcStormReport r = run_proc_storm(opt);
+  expect_exact_ft_books(r, opt);
+  EXPECT_EQ(r.kills, 0u);
+}
+
+}  // namespace

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "migrate/checkpoint.h"
 #include "util/rng.h"
 
 namespace {
@@ -284,6 +285,111 @@ TEST(Wire, FuzzSeededSplitPoints) {
           << "trial " << trial << " frame " << f;
     }
     EXPECT_TRUE(reader.idle()) << "trial " << trial;
+  }
+}
+
+// ---- Wire-framed checkpoint shipments ---------------------------------------
+//
+// The cross-process ft layer ships buddy checkpoint blobs as multi-span
+// wire frames (a pup'd header span plus the borrowed blob span, exactly
+// how converse::send_spans hands them to writev). These fuzz trials push
+// real Checkpoint::encode() images through the choppy pipe — partial
+// writev splits landing anywhere, including inside the checkpoint frame's
+// own magic/CRC header — and assert (a) an intact shipment reassembles to
+// a decodable checkpoint, and (b) truncations and byte flips of the
+// reassembled bytes fail Checkpoint::decode with the right typed error,
+// never garbage-in-the-PUP-layer.
+
+using mfc::migrate::Checkpoint;
+using mfc::migrate::CodecError;
+
+TEST(Wire, FuzzCheckpointShipmentSplitAcrossWritevBoundaries) {
+  for (std::uint64_t trial = 0; trial < 16; ++trial) {
+    SplitMix64 rng(0xC4EC + trial * 0x9e3779b97f4a7c15ULL);
+    SplitMix64 caps(trial * 131 + 7);
+    ChoppyPipe pipe;
+    pipe.cap_rng = &caps;
+    pipe.cap_max = 1 + static_cast<std::size_t>(rng.next_below(61));
+
+    // A shipment per trial: user-data sized to span several write calls.
+    Checkpoint ckpt;
+    const std::vector<char> user =
+        patterned(64 + static_cast<std::size_t>(rng.next_below(4000)),
+                  rng.next());
+    ckpt.set_user_data(user);
+    const std::vector<char> image = ckpt.encode();
+
+    // Ship it the way ft_send_store does: a small header span, then the
+    // checkpoint image split into 1..4 borrowed spans.
+    const std::vector<char> head = patterned(48, rng.next());
+    std::vector<Span> spans{{head.data(), head.size()}};
+    const std::size_t nparts = 1 + rng.next_below(4);
+    std::size_t off = 0;
+    for (std::size_t s = 0; s < nparts; ++s) {
+      const std::size_t remain = image.size() - off;
+      const std::size_t len =
+          s + 1 == nparts ? remain
+                          : static_cast<std::size_t>(rng.next_below(remain));
+      spans.push_back({image.data() + off, len});
+      off += len;
+    }
+    ASSERT_TRUE(write_frame(pipe,
+                            make_header(head.size() + image.size(),
+                                        static_cast<std::uint32_t>(trial)),
+                            spans.data(), spans.size()));
+
+    Reader reader;
+    CollectSink sink;
+    while (reader.pump(pipe, sink) == PumpResult::kWouldBlock &&
+           !pipe.bytes.empty()) {
+    }
+    ASSERT_EQ(sink.frames.size(), 1u) << "trial " << trial;
+    EXPECT_TRUE(reader.idle()) << "trial " << trial;
+    const std::vector<char>& payload = sink.frames[0].payload;
+    ASSERT_EQ(payload.size(), head.size() + image.size());
+
+    // Intact shipment: the checkpoint bytes after the header span decode.
+    Checkpoint back;
+    ASSERT_EQ(Checkpoint::decode(payload.data() + head.size(),
+                                 payload.size() - head.size(), &back),
+              CodecError::kOk)
+        << "trial " << trial;
+    EXPECT_EQ(back.user_data(), user);
+
+    // Hostile shipments: seeded truncation points and byte flips within
+    // the checkpoint image must produce typed errors, never kOk.
+    for (int probe = 0; probe < 16; ++probe) {
+      const std::size_t len = static_cast<std::size_t>(
+          rng.next_below(image.size()));
+      Checkpoint out;
+      ASSERT_NE(Checkpoint::decode(payload.data() + head.size(), len, &out),
+                CodecError::kOk)
+          << "trial " << trial << " truncated to " << len;
+    }
+    for (int probe = 0; probe < 16; ++probe) {
+      std::vector<char> bad(payload.begin() +
+                                static_cast<std::ptrdiff_t>(head.size()),
+                            payload.end());
+      const std::size_t at =
+          static_cast<std::size_t>(rng.next_below(bad.size()));
+      bad[at] = static_cast<char>(bad[at] ^ (1 + rng.next_below(255)));
+      Checkpoint out;
+      const CodecError err = Checkpoint::decode(bad, &out);
+      ASSERT_NE(err, CodecError::kOk)
+          << "trial " << trial << " flip at " << at;
+      // Frame layout: [magic 4][version 4][payload_len 8][crc 4][payload].
+      CodecError want;
+      if (at < 4) {
+        want = CodecError::kBadMagic;
+      } else if (at < 8) {
+        want = CodecError::kBadVersion;
+      } else if (at < 16) {
+        want = CodecError::kTruncated;
+      } else {
+        want = CodecError::kBadCrc;
+      }
+      ASSERT_EQ(err, want) << "trial " << trial << " flip at " << at;
+    }
   }
 }
 
